@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harness binaries: the common Table 1
+ * configuration, simple aligned-table printing and number formatting.
+ */
+
+#ifndef DASDRAM_BENCH_BENCH_UTIL_HH
+#define DASDRAM_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace dasdram
+{
+namespace benchutil
+{
+
+/** Default bench configuration: Table 1 system, scaled instruction
+ *  budget (override with DAS_SIM_SCALE). */
+inline SimConfig
+defaultConfig()
+{
+    SimConfig cfg;
+    cfg.instructionsPerCore = 16'000'000;
+    applySimScale(cfg);
+    return cfg;
+}
+
+inline std::string
+num(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+inline std::string
+pct(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%+.2f", 100.0 * v);
+    return buf;
+}
+
+/** Minimal aligned-column table printer. */
+class Table
+{
+  public:
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    void row(std::vector<std::string> cells)
+    {
+        rows_.push_back(std::move(cells));
+    }
+
+    void
+    print(const std::vector<std::string> &header) const
+    {
+        std::vector<std::size_t> width(header.size());
+        for (std::size_t c = 0; c < header.size(); ++c)
+            width[c] = header[c].size();
+        for (const auto &r : rows_)
+            for (std::size_t c = 0; c < r.size() && c < width.size(); ++c)
+                width[c] = std::max(width[c], r[c].size());
+
+        std::printf("\n== %s ==\n", title_.c_str());
+        auto print_row = [&](const std::vector<std::string> &r) {
+            for (std::size_t c = 0; c < r.size() && c < width.size();
+                 ++c) {
+                std::printf("%-*s  ", static_cast<int>(width[c]),
+                            r[c].c_str());
+            }
+            std::printf("\n");
+        };
+        print_row(header);
+        for (const auto &r : rows_)
+            print_row(r);
+    }
+
+  private:
+    std::string title_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace benchutil
+} // namespace dasdram
+
+#endif // DASDRAM_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Reproduces Figure 9b: sensitivity to the migration-group size
+ * (8/16/32/64 rows). Smaller groups need fewer mapping bits but risk
+ * contention; the paper finds the effect subtle (Section 7.5).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hh"
+
+using namespace dasdram;
+
+int
+main()
+{
+    SimConfig base = benchutil::defaultConfig();
+    const unsigned kGroups[] = {8, 16, 32, 64};
+
+    benchutil::Table perf(
+        "Figure 9b: performance improvement (%) by migration group "
+        "size");
+
+    ExperimentRunner runner(base);
+    std::vector<std::vector<double>> imp(4);
+    for (const std::string &bench : specBenchmarks()) {
+        WorkloadSpec w = WorkloadSpec::single(bench);
+        std::vector<std::string> row{bench};
+        for (std::size_t i = 0; i < 4; ++i) {
+            runner.baseConfig().layout.groupSize = kGroups[i];
+            ExperimentResult r = runner.run(w, DesignKind::Das);
+            imp[i].push_back(r.perfImprovement);
+            row.push_back(benchutil::pct(r.perfImprovement));
+        }
+        perf.row(row);
+    }
+    std::vector<std::string> gmean_row{"gmean"};
+    for (std::size_t i = 0; i < 4; ++i)
+        gmean_row.push_back(
+            benchutil::pct(ExperimentRunner::gmeanImprovement(imp[i])));
+    perf.row(gmean_row);
+
+    perf.print({"benchmark", "8-row", "16-row", "32-row", "64-row"});
+    std::printf("\nPaper reference: the effect of the migration group "
+                "size is subtle (Section 7.5); DAS-DRAM uses 32 rows so "
+                "each table entry fits in one byte.\n");
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Reproduces the paper's analytic numbers: the migration/swap latency
+ * derivation (Section 4.2 / Table 1) and the silicon-area overheads
+ * (Sections 3.1, 4.3, 7.6).
+ */
+
+#include <cstdio>
+
+#include "core/area_model.hh"
+#include "core/migration.hh"
+#include "dram/timing.hh"
+
+using namespace dasdram;
+
+int
+main()
+{
+    DramTiming t = ddr3_1600Timing();
+    MigrationProcedure proc(t);
+
+    std::printf("== Migration procedure (Figure 3d / Section 4.2) ==\n");
+    for (const MigrationStep &s : proc.steps()) {
+        std::printf("  %-55s %3llu cycles (%6.2f ns)\n", s.name.c_str(),
+                    static_cast<unsigned long long>(s.cycles),
+                    static_cast<double>(s.cycles) * 1.25);
+    }
+    std::printf("  one row migration : %llu cycles = %.2f ns (~1.5 tRC; "
+                "tRC = %.2f ns)\n",
+                static_cast<unsigned long long>(proc.migrationCycles()),
+                static_cast<double>(proc.migrationCycles()) * 1.25,
+                static_cast<double>(t.slow.tRC) * 1.25);
+    std::printf("  promotion swap    : %llu cycles = %.2f ns "
+                "(paper/Table 1: 146.25 ns)\n",
+                static_cast<unsigned long long>(proc.swapCycles()),
+                proc.swapNanoseconds());
+    std::printf("  engine configured : %llu cycles = %.2f ns\n",
+                static_cast<unsigned long long>(t.swapCycles),
+                static_cast<double>(t.swapCycles) * 1.25);
+
+    std::printf("\n== Timing parameters (Table 1) ==\n");
+    std::printf("  slow: tRCD %.2f ns, tRAS %.2f ns, tRP %.2f ns, "
+                "tRC %.2f ns\n",
+                t.slow.tRCD * 1.25, t.slow.tRAS * 1.25, t.slow.tRP * 1.25,
+                t.slow.tRC * 1.25);
+    std::printf("  fast: tRCD %.2f ns, tRAS %.2f ns, tRP %.2f ns, "
+                "tRC %.2f ns\n",
+                t.fast.tRCD * 1.25, t.fast.tRAS * 1.25, t.fast.tRP * 1.25,
+                t.fast.tRC * 1.25);
+
+    std::printf("\n== Silicon area overheads ==\n");
+    std::printf("  DAS ratio 1/8  : %5.2f %%  (paper: 6.6 %%)\n",
+                100.0 * asymmetricAreaOverhead(1.0 / 8.0));
+    std::printf("  DAS ratio 1/4  : %5.2f %%  (paper: 11.3 %%)\n",
+                100.0 * asymmetricAreaOverhead(1.0 / 4.0));
+    std::printf("  DAS ratio 1/16 : %5.2f %%\n",
+                100.0 * asymmetricAreaOverhead(1.0 / 16.0));
+    std::printf("  DAS ratio 1/32 : %5.2f %%\n",
+                100.0 * asymmetricAreaOverhead(1.0 / 32.0));
+    std::printf("  FS-DRAM (all fast subarrays): %5.2f %% "
+                "(RLDRAM-class)\n",
+                100.0 * fsDramAreaOverhead());
+    std::printf("  TL-DRAM, 128 near rows      : %5.2f %% "
+                "(paper: ~24 %%)\n",
+                100.0 * tlDramAreaOverhead(128));
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Custom-workload example: build your own BenchmarkProfile — here a
+ * pointer-chasing key/value store with a drifting working set — and
+ * evaluate how much DAS-DRAM helps it, using the System API directly
+ * (rather than the canned SPEC profiles).
+ */
+
+#include <cstdio>
+
+#include "sim/system.hh"
+#include "workload/synth_trace.hh"
+
+using namespace dasdram;
+
+int
+main()
+{
+    // A synthetic "key-value store": 256 MiB resident, intense and
+    // latency-bound, pointer-chasing into a 16 MiB hot index that
+    // drifts as the key distribution shifts.
+    BenchmarkProfile kv;
+    kv.name = "kvstore";
+    kv.footprintMiB = 256;
+    kv.memRatio = 0.33;
+    kv.writeFraction = 0.10;
+    kv.reuseProb = 0.90;
+    kv.pStream = 0.05;  // log writes
+    kv.pWork = 0.85;    // index lookups over the resident set
+    kv.pHot = 0.08;     // a few celebrity keys
+    kv.pUniform = 0.02; // cold scans
+    kv.workingSetPages = 2048; // 16 MiB index
+    kv.workingSetChurn = 0.01;
+    kv.hotFraction = 0.02;
+    kv.zipfS = 1.1;
+    kv.phaseInstructions = 2'000'000;
+    kv.runLength = 2; // small objects: little spatial locality
+
+    SimConfig cfg;
+    cfg.instructionsPerCore = 2'000'000;
+    applySimScale(cfg);
+
+    std::printf("kvstore on four DRAM designs (%llu instructions)\n\n",
+                static_cast<unsigned long long>(cfg.instructionsPerCore));
+
+    double standard_ipc = 0.0;
+    for (DesignKind d : {DesignKind::Standard, DesignKind::Das,
+                         DesignKind::DasFm, DesignKind::Fs}) {
+        SimConfig run_cfg = cfg;
+        run_cfg.design = d;
+        SyntheticTrace trace(kv, /*seed=*/2024, run_cfg.geom.rowBytes,
+                             run_cfg.geom.lineBytes);
+        System sys(run_cfg, {&trace});
+        RunMetrics m = sys.run();
+        if (d == DesignKind::Standard)
+            standard_ipc = m.ipc[0];
+        double imp = standard_ipc > 0.0
+                         ? 100.0 * (m.ipc[0] / standard_ipc - 1.0)
+                         : 0.0;
+        std::printf("%-14s IPC %.4f  (%+.2f%%)  MPKI %.1f  "
+                    "promotions %llu\n",
+                    toString(d).c_str(), m.ipc[0], imp, m.mpki(),
+                    static_cast<unsigned long long>(m.promotions));
+    }
+
+    std::printf("\nTakeaway: a drifting pointer-chasing working set is "
+                "exactly the pattern the paper's dynamic migration "
+                "serves: static profiling cannot follow the drift, and "
+                "the fast level captures the resident index.\n");
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Policy explorer: sweep the management knobs the paper studies —
+ * promotion threshold, victim replacement policy, fast-level ratio and
+ * migration group size — on one benchmark, printing a compact report.
+ * A miniature of the Figure 8/9 sensitivity studies for interactive
+ * use.
+ *
+ * Usage: policy_explorer [benchmark] [instructions]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/experiment.hh"
+
+using namespace dasdram;
+
+namespace
+{
+
+void
+report(const char *label, const ExperimentResult &r)
+{
+    const RunMetrics &m = r.metrics;
+    double slow_share =
+        m.locations.total()
+            ? 100.0 * static_cast<double>(m.locations.slowLevel) /
+                  static_cast<double>(m.locations.total())
+            : 0.0;
+    std::printf("  %-22s %+7.2f%%   %8.2f   %6.2f%%\n", label,
+                100.0 * r.perfImprovement, m.ppkm(), slow_share);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string bench = argc > 1 ? argv[1] : "omnetpp";
+    SimConfig cfg;
+    cfg.instructionsPerCore =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 1'000'000;
+    applySimScale(cfg);
+
+    ExperimentRunner runner(cfg);
+    WorkloadSpec w = WorkloadSpec::single(bench);
+
+    std::printf("Policy exploration on '%s'\n", bench.c_str());
+    std::printf("  %-22s %-9s  %-8s  %s\n", "configuration", "speedup",
+                "PPKM", "slow-share");
+
+    std::printf("promotion threshold (Figure 8):\n");
+    for (unsigned th : {1u, 2u, 4u, 8u}) {
+        runner.baseConfig().das.promotion.threshold = th;
+        char label[32];
+        std::snprintf(label, sizeof(label), "threshold %u", th);
+        report(label, runner.run(w, DesignKind::Das));
+    }
+    runner.baseConfig().das.promotion.threshold = 1;
+
+    std::printf("victim replacement (Section 7.6):\n");
+    for (FastReplPolicy p :
+         {FastReplPolicy::Lru, FastReplPolicy::Random,
+          FastReplPolicy::Sequential, FastReplPolicy::PseudoRandom}) {
+        runner.baseConfig().das.replacement = p;
+        report(toString(p), runner.run(w, DesignKind::Das));
+    }
+    runner.baseConfig().das.replacement = FastReplPolicy::Lru;
+
+    std::printf("fast-level ratio (Figure 9c/d):\n");
+    for (unsigned denom : {32u, 16u, 8u, 4u}) {
+        runner.baseConfig().layout.fastRatioDenom = denom;
+        char label[32];
+        std::snprintf(label, sizeof(label), "ratio 1/%u", denom);
+        report(label, runner.run(w, DesignKind::Das));
+    }
+    runner.baseConfig().layout.fastRatioDenom = 8;
+
+    std::printf("migration group size (Figure 9b):\n");
+    for (unsigned g : {8u, 16u, 32u, 64u}) {
+        runner.baseConfig().layout.groupSize = g;
+        char label[32];
+        std::snprintf(label, sizeof(label), "%u-row groups", g);
+        report(label, runner.run(w, DesignKind::Das));
+    }
+    return 0;
+}

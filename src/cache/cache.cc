@@ -1,0 +1,143 @@
+#include "cache.hh"
+
+#include "common/bitutil.hh"
+#include "common/log.hh"
+
+namespace dasdram
+{
+
+Cache::Cache(const CacheConfig &cfg, std::string name, std::uint64_t seed)
+    : cfg_(cfg), name_(std::move(name)), rng_(seed), statGroup_(name_)
+{
+    if (!isPowerOfTwo(cfg.lineBytes))
+        fatal("cache '{}': line size must be a power of two", name_);
+    if (cfg.assoc == 0 || cfg.sizeBytes % (cfg.lineBytes * cfg.assoc) != 0)
+        fatal("cache '{}': size not divisible by assoc*line", name_);
+    if (!isPowerOfTwo(cfg.numSets()))
+        fatal("cache '{}': number of sets must be a power of two", name_);
+
+    lines_.resize(cfg.numSets() * cfg.assoc);
+
+    statGroup_.addCounter("hits", &hits_);
+    statGroup_.addCounter("misses", &misses_);
+    statGroup_.addCounter("evictions", &evictions_);
+    statGroup_.addCounter("dirtyEvictions", &dirtyEvictions_);
+}
+
+std::uint64_t
+Cache::setIndex(Addr line) const
+{
+    return (line / cfg_.lineBytes) & (cfg_.numSets() - 1);
+}
+
+Cache::Line *
+Cache::find(Addr line)
+{
+    std::uint64_t set = setIndex(line);
+    Line *base = &lines_[set * cfg_.assoc];
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == line)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::find(Addr line) const
+{
+    return const_cast<Cache *>(this)->find(line);
+}
+
+bool
+Cache::access(Addr addr, bool is_write)
+{
+    Addr line = lineAddr(addr);
+    Line *l = find(line);
+    if (l) {
+        l->stamp = ++stampCounter_;
+        if (is_write)
+            l->dirty = true;
+        hits_.inc();
+        return true;
+    }
+    misses_.inc();
+    return false;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    return find(lineAddr(addr)) != nullptr;
+}
+
+Cache::Eviction
+Cache::insert(Addr addr, bool dirty)
+{
+    Addr line = lineAddr(addr);
+    Eviction ev;
+    if (Line *existing = find(line)) {
+        existing->stamp = ++stampCounter_;
+        existing->dirty = existing->dirty || dirty;
+        return ev;
+    }
+
+    std::uint64_t set = setIndex(line);
+    Line *base = &lines_[set * cfg_.assoc];
+    Line *victim = nullptr;
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+    }
+    if (!victim) {
+        if (cfg_.repl == CacheRepl::Random) {
+            victim = &base[rng_.nextBelow(cfg_.assoc)];
+        } else {
+            victim = base;
+            for (unsigned w = 1; w < cfg_.assoc; ++w) {
+                if (base[w].stamp < victim->stamp)
+                    victim = &base[w];
+            }
+        }
+        ev.valid = true;
+        ev.line = victim->tag;
+        ev.dirty = victim->dirty;
+        evictions_.inc();
+        if (victim->dirty)
+            dirtyEvictions_.inc();
+    }
+
+    victim->tag = line;
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->stamp = ++stampCounter_;
+    return ev;
+}
+
+bool
+Cache::invalidate(Addr addr)
+{
+    Line *l = find(lineAddr(addr));
+    if (!l)
+        return false;
+    bool was_dirty = l->dirty;
+    l->valid = false;
+    l->dirty = false;
+    l->tag = kAddrInvalid;
+    return was_dirty;
+}
+
+double
+Cache::occupancy() const
+{
+    std::uint64_t valid = 0;
+    for (const Line &l : lines_)
+        valid += l.valid ? 1 : 0;
+    return lines_.empty()
+               ? 0.0
+               : static_cast<double>(valid) /
+                     static_cast<double>(lines_.size());
+}
+
+} // namespace dasdram

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * A functional set-associative write-back cache with pluggable
+ * replacement, used for L1/L2/LLC and for the DAS translation cache.
+ * Timing is handled by the owner; this class models contents only.
+ */
+
+#ifndef DASDRAM_CACHE_CACHE_HH
+#define DASDRAM_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace dasdram
+{
+
+/** Replacement policy for Cache. */
+enum class CacheRepl
+{
+    Lru,
+    Random,
+};
+
+/** Geometry and policy of one cache. */
+struct CacheConfig
+{
+    std::uint64_t sizeBytes = 64 * KiB;
+    unsigned assoc = 8;
+    std::uint64_t lineBytes = 64;
+    CacheRepl repl = CacheRepl::Lru;
+
+    std::uint64_t
+    numSets() const
+    {
+        return sizeBytes / (lineBytes * assoc);
+    }
+};
+
+/**
+ * Set-associative cache directory. Addresses passed in may be unaligned;
+ * they are truncated to lines internally.
+ */
+class Cache
+{
+  public:
+    /** Result of an insertion: the victim line, if one was evicted. */
+    struct Eviction
+    {
+        bool valid = false;
+        Addr line = kAddrInvalid;
+        bool dirty = false;
+    };
+
+    Cache(const CacheConfig &cfg, std::string name,
+          std::uint64_t seed = 1);
+
+    /**
+     * Look up @p addr; on hit update recency (and dirty when
+     * @p is_write). Misses do NOT allocate — use insert() on fill.
+     * @return true on hit.
+     */
+    bool access(Addr addr, bool is_write);
+
+    /** Hit check without state update. */
+    bool probe(Addr addr) const;
+
+    /**
+     * Allocate a line (e.g. on fill or writeback from an upper level).
+     * If the line is already present it is refreshed (dirty OR-ed in)
+     * and no eviction happens.
+     */
+    Eviction insert(Addr addr, bool dirty);
+
+    /** Remove a line. @return true iff it was present and dirty. */
+    bool invalidate(Addr addr);
+
+    /** Line-align an address. */
+    Addr
+    lineAddr(Addr addr) const
+    {
+        return addr & ~(cfg_.lineBytes - 1);
+    }
+
+    const CacheConfig &config() const { return cfg_; }
+    const std::string &name() const { return name_; }
+
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+    std::uint64_t evictions() const { return evictions_.value(); }
+    std::uint64_t dirtyEvictions() const { return dirtyEvictions_.value(); }
+
+    /** Fraction of lines currently valid (for warm-up checks). */
+    double occupancy() const;
+
+    StatGroup &stats() { return statGroup_; }
+
+  private:
+    struct Line
+    {
+        Addr tag = kAddrInvalid;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t stamp = 0; ///< LRU recency
+    };
+
+    std::uint64_t setIndex(Addr line) const;
+    Line *find(Addr line);
+    const Line *find(Addr line) const;
+
+    CacheConfig cfg_;
+    std::string name_;
+    std::vector<Line> lines_; ///< [set * assoc + way]
+    std::uint64_t stampCounter_ = 0;
+    Rng rng_;
+
+    StatGroup statGroup_;
+    Counter hits_, misses_, evictions_, dirtyEvictions_;
+};
+
+} // namespace dasdram
+
+#endif // DASDRAM_CACHE_CACHE_HH

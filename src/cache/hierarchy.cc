@@ -1,0 +1,98 @@
+#include "hierarchy.hh"
+
+#include "common/log.hh"
+
+namespace dasdram
+{
+
+CacheHierarchy::CacheHierarchy(unsigned num_cores,
+                               const HierarchyConfig &cfg,
+                               std::uint64_t seed)
+    : cfg_(cfg), statGroup_("caches")
+{
+    for (unsigned c = 0; c < num_cores; ++c) {
+        l1_.push_back(std::make_unique<Cache>(
+            cfg.l1, "l1_" + std::to_string(c), seed + c));
+        l2_.push_back(std::make_unique<Cache>(
+            cfg.l2, "l2_" + std::to_string(c), seed + 100 + c));
+        statGroup_.addChild(&l1_.back()->stats());
+        statGroup_.addChild(&l2_.back()->stats());
+    }
+    llc_ = std::make_unique<Cache>(cfg.llc, "llc", seed + 1000);
+    statGroup_.addChild(&llc_->stats());
+    statGroup_.addCounter("demandLlcMisses", &demandMisses_,
+                          "CPU demand misses that reach memory");
+}
+
+void
+CacheHierarchy::installWithCascade(Cache &cache, Addr line, bool dirty,
+                                   Cache *lower, const WritebackSink &wb)
+{
+    Cache::Eviction ev = cache.insert(line, dirty);
+    if (!ev.valid || !ev.dirty)
+        return;
+    if (lower) {
+        installWithCascade(*lower, ev.line, true,
+                           lower == llc_.get() ? nullptr : llc_.get(), wb);
+    } else if (wb) {
+        wb(ev.line);
+    }
+}
+
+CacheAccessResult
+CacheHierarchy::access(unsigned core, Addr addr, bool is_write,
+                       const WritebackSink &wb)
+{
+    CacheAccessResult res;
+    Cache &l1 = *l1_[core];
+    Cache &l2 = *l2_[core];
+    res.lineAddr = l1.lineAddr(addr);
+
+    if (l1.access(addr, is_write)) {
+        res.level = HitLevel::L1;
+        res.latencyTicks = cpuCyclesToTicks(cfg_.l1LatencyCpu);
+        return res;
+    }
+    if (l2.access(addr, /*is_write=*/false)) {
+        res.level = HitLevel::L2;
+        res.latencyTicks = cpuCyclesToTicks(cfg_.l2LatencyCpu);
+        // Promote to L1; victim cascades into L2 (then LLC if dirty).
+        installWithCascade(l1, res.lineAddr, is_write, &l2, wb);
+        return res;
+    }
+    if (llc_->access(addr, /*is_write=*/false)) {
+        res.level = HitLevel::LLC;
+        res.latencyTicks = cpuCyclesToTicks(cfg_.llcLatencyCpu);
+        installWithCascade(l2, res.lineAddr, false, llc_.get(), wb);
+        installWithCascade(l1, res.lineAddr, is_write, &l2, wb);
+        return res;
+    }
+
+    res.level = HitLevel::Miss;
+    res.latencyTicks = cpuCyclesToTicks(cfg_.llcLatencyCpu);
+    demandMisses_.inc();
+    return res;
+}
+
+void
+CacheHierarchy::fill(unsigned core, Addr line, bool is_write,
+                     const WritebackSink &wb)
+{
+    installWithCascade(*llc_, line, false, nullptr, wb);
+    installWithCascade(*l2_[core], line, false, llc_.get(), wb);
+    installWithCascade(*l1_[core], line, is_write, l2_[core].get(), wb);
+}
+
+bool
+CacheHierarchy::llcSideAccess(Addr addr)
+{
+    return llc_->access(addr, /*is_write=*/false);
+}
+
+void
+CacheHierarchy::fillLlcOnly(Addr line, const WritebackSink &wb)
+{
+    installWithCascade(*llc_, line, false, nullptr, wb);
+}
+
+} // namespace dasdram

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Three-level cache hierarchy (private L1/L2, shared LLC) with the
+ * Table 1 latencies. Contents are functional; the hierarchy reports
+ * lookup latency and whether DRAM must be accessed, and cascades dirty
+ * evictions downward, emitting DRAM writebacks from the LLC.
+ */
+
+#ifndef DASDRAM_CACHE_HIERARCHY_HH
+#define DASDRAM_CACHE_HIERARCHY_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/clock.hh"
+
+namespace dasdram
+{
+
+/** Per-level latencies and geometries (Table 1 defaults). */
+struct HierarchyConfig
+{
+    CacheConfig l1{64 * KiB, 8, 64, CacheRepl::Lru};
+    CacheConfig l2{256 * KiB, 8, 64, CacheRepl::Lru};
+    CacheConfig llc{4 * MiB, 8, 64, CacheRepl::Lru};
+    Cycle l1LatencyCpu = 4;   ///< CPU cycles to an L1 hit
+    Cycle l2LatencyCpu = 12;  ///< CPU cycles to an L2 hit
+    Cycle llcLatencyCpu = 20; ///< CPU cycles to an LLC hit
+};
+
+/** Level at which an access hit. */
+enum class HitLevel
+{
+    L1,
+    L2,
+    LLC,
+    Miss, ///< must go to memory
+};
+
+/** Outcome of a hierarchy lookup. */
+struct CacheAccessResult
+{
+    HitLevel level = HitLevel::Miss;
+    Cycle latencyTicks = 0; ///< lookup latency (hit: to data; miss: to
+                            ///< the memory controller)
+    Addr lineAddr = kAddrInvalid;
+};
+
+/**
+ * The cache hierarchy shared by all cores. Writebacks that leave the
+ * LLC are handed to a sink (the memory system) as line addresses.
+ */
+class CacheHierarchy
+{
+  public:
+    /** Sink for LLC dirty evictions (DRAM write traffic). */
+    using WritebackSink = std::function<void(Addr)>;
+
+    CacheHierarchy(unsigned num_cores, const HierarchyConfig &cfg,
+                   std::uint64_t seed = 7);
+
+    /**
+     * Perform a load/store lookup for @p core. On L2/LLC hits the line
+     * is promoted into the upper levels; cascaded dirty evictions that
+     * leave the LLC are passed to @p wb.
+     */
+    CacheAccessResult access(unsigned core, Addr addr, bool is_write,
+                             const WritebackSink &wb);
+
+    /**
+     * Install a line after a DRAM fill for @p core (all levels).
+     * @p is_write marks the L1 copy dirty (write-allocate).
+     */
+    void fill(unsigned core, Addr line, bool is_write,
+              const WritebackSink &wb);
+
+    /**
+     * LLC-only access on behalf of the DAS translation-table walker
+     * (the table is cached in the LLC; Section 5.2).
+     * @return true on hit; on miss the caller fetches from DRAM and
+     * calls fillLlcOnly().
+     */
+    bool llcSideAccess(Addr addr);
+
+    /** Install a table line into the LLC only. */
+    void fillLlcOnly(Addr line, const WritebackSink &wb);
+
+    Cache &l1(unsigned core) { return *l1_[core]; }
+    Cache &l2(unsigned core) { return *l2_[core]; }
+    Cache &llc() { return *llc_; }
+    unsigned numCores() const { return static_cast<unsigned>(l1_.size()); }
+    const HierarchyConfig &config() const { return cfg_; }
+
+    /** LLC misses from CPU demand accesses (for MPKI). */
+    std::uint64_t demandLlcMisses() const { return demandMisses_.value(); }
+
+    StatGroup &stats() { return statGroup_; }
+
+  private:
+    /** Insert into @p level; cascade the victim to @p lower (or wb). */
+    void installWithCascade(Cache &cache, Addr line, bool dirty,
+                            Cache *lower, const WritebackSink &wb);
+
+    HierarchyConfig cfg_;
+    std::vector<std::unique_ptr<Cache>> l1_;
+    std::vector<std::unique_ptr<Cache>> l2_;
+    std::unique_ptr<Cache> llc_;
+
+    StatGroup statGroup_;
+    Counter demandMisses_;
+};
+
+} // namespace dasdram
+
+#endif // DASDRAM_CACHE_HIERARCHY_HH

@@ -1,0 +1,49 @@
+#include "mshr.hh"
+
+#include "common/log.hh"
+
+namespace dasdram
+{
+
+MshrFile::MshrFile(unsigned capacity, std::string name)
+    : capacity_(capacity), statGroup_(std::move(name))
+{
+    statGroup_.addCounter("allocations", &allocations_);
+    statGroup_.addCounter("coalesced", &coalesced_,
+                          "misses merged into an outstanding fill");
+}
+
+void
+MshrFile::allocate(Addr line)
+{
+    if (full())
+        panic("MSHR allocate when full");
+    auto [it, inserted] = entries_.try_emplace(line);
+    if (!inserted)
+        panic("MSHR allocate for already outstanding line {:x}", line);
+    allocations_.inc();
+}
+
+void
+MshrFile::addWaiter(Addr line, Waiter w)
+{
+    auto it = entries_.find(line);
+    if (it == entries_.end())
+        panic("MSHR addWaiter without outstanding entry");
+    it->second.push_back(std::move(w));
+    coalesced_.inc();
+}
+
+void
+MshrFile::complete(Addr line, Cycle tick)
+{
+    auto it = entries_.find(line);
+    if (it == entries_.end())
+        panic("MSHR complete without outstanding entry");
+    std::vector<Waiter> waiters = std::move(it->second);
+    entries_.erase(it);
+    for (Waiter &w : waiters)
+        w(line, tick);
+}
+
+} // namespace dasdram

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Miss-status holding registers: coalesce outstanding misses to the
+ * same cache line so one DRAM request serves all waiters.
+ */
+
+#ifndef DASDRAM_CACHE_MSHR_HH
+#define DASDRAM_CACHE_MSHR_HH
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace dasdram
+{
+
+/**
+ * Tracks in-flight line fills. Capacity-limited; callers must check
+ * full() before allocating and stall otherwise.
+ */
+class MshrFile
+{
+  public:
+    /** Waiter callback: (line address, fill completion tick). */
+    using Waiter = std::function<void(Addr, Cycle)>;
+
+    explicit MshrFile(unsigned capacity, std::string name = "mshr");
+
+    /** True iff a miss to @p line is already outstanding. */
+    bool outstanding(Addr line) const
+    {
+        return entries_.count(line) != 0;
+    }
+
+    /** True iff no new entry can be allocated. */
+    bool full() const { return entries_.size() >= capacity_; }
+
+    /**
+     * Allocate an entry for @p line. @pre !outstanding(line) && !full().
+     */
+    void allocate(Addr line);
+
+    /** Add a waiter to an outstanding entry. @pre outstanding(line). */
+    void addWaiter(Addr line, Waiter w);
+
+    /**
+     * Complete the fill for @p line at @p tick: runs and removes all
+     * waiters. @pre outstanding(line).
+     */
+    void complete(Addr line, Cycle tick);
+
+    std::size_t size() const { return entries_.size(); }
+    std::uint64_t coalesced() const { return coalesced_.value(); }
+
+    /** Unique line fills started (the paper-style miss count). */
+    std::uint64_t allocations() const { return allocations_.value(); }
+
+    StatGroup &stats() { return statGroup_; }
+
+  private:
+    unsigned capacity_;
+    std::unordered_map<Addr, std::vector<Waiter>> entries_;
+
+    StatGroup statGroup_;
+    Counter allocations_, coalesced_;
+};
+
+} // namespace dasdram
+
+#endif // DASDRAM_CACHE_MSHR_HH

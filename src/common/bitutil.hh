@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by address mapping and caches.
+ */
+
+#ifndef DASDRAM_COMMON_BITUTIL_HH
+#define DASDRAM_COMMON_BITUTIL_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace dasdram
+{
+
+/** True iff @p v is a power of two (0 is not). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** log2 of a power of two. @pre isPowerOfTwo(v). */
+constexpr unsigned
+log2Exact(std::uint64_t v)
+{
+    return static_cast<unsigned>(std::countr_zero(v));
+}
+
+/** Ceiling of log2(v) for v >= 1. */
+constexpr unsigned
+log2Ceil(std::uint64_t v)
+{
+    return v <= 1 ? 0
+                  : static_cast<unsigned>(64 - std::countl_zero(v - 1));
+}
+
+/** Extract bits [lo, lo+width) of @p v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned lo, unsigned width)
+{
+    return (width >= 64) ? (v >> lo)
+                         : ((v >> lo) & ((1ULL << width) - 1));
+}
+
+/** Integer division rounding up. @pre d > 0. */
+constexpr std::uint64_t
+divCeil(std::uint64_t n, std::uint64_t d)
+{
+    return (n + d - 1) / d;
+}
+
+} // namespace dasdram
+
+#endif // DASDRAM_COMMON_BITUTIL_HH

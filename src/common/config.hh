@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A small typed key/value configuration store.
+ *
+ * Front-ends (benches, examples) assemble a Config from defaults plus
+ * overrides; simulator components read typed values with mandatory
+ * defaults so a missing key is never a silent zero.
+ */
+
+#ifndef DASDRAM_COMMON_CONFIG_HH
+#define DASDRAM_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dasdram
+{
+
+/**
+ * String-keyed configuration with typed accessors. Values are stored as
+ * strings and parsed on read; parse failures are fatal (user error).
+ */
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Set (or overwrite) a key. */
+    void set(const std::string &key, const std::string &value);
+    void set(const std::string &key, std::int64_t value);
+    void set(const std::string &key, std::uint64_t value);
+    void set(const std::string &key, double value);
+    void set(const std::string &key, bool value);
+
+    /** True iff the key has been set. */
+    bool has(const std::string &key) const;
+
+    /** Typed getters; return @p def when the key is absent. */
+    std::string getString(const std::string &key,
+                          const std::string &def) const;
+    std::int64_t getInt(const std::string &key, std::int64_t def) const;
+    std::uint64_t getUInt(const std::string &key, std::uint64_t def) const;
+    double getDouble(const std::string &key, double def) const;
+    bool getBool(const std::string &key, bool def) const;
+
+    /**
+     * Parse a "key=value" override string and apply it.
+     * @return false when the string is malformed.
+     */
+    bool applyOverride(const std::string &assignment);
+
+    /** All keys in sorted order (for dumping). */
+    std::vector<std::string> keys() const;
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace dasdram
+
+#endif // DASDRAM_COMMON_CONFIG_HH

@@ -1,0 +1,44 @@
+#include "log.hh"
+
+#include <cstdio>
+
+namespace dasdram
+{
+
+namespace log_detail
+{
+
+LogLevel &
+currentLevel()
+{
+    static LogLevel level = LogLevel::Normal;
+    return level;
+}
+
+void
+emit(std::string_view tag, std::string_view msg)
+{
+    std::fprintf(stderr, "[%.*s] %.*s\n", static_cast<int>(tag.size()),
+                 tag.data(), static_cast<int>(msg.size()), msg.data());
+}
+
+void
+die(std::string_view tag, std::string_view msg, bool abort_process)
+{
+    emit(tag, msg);
+    if (abort_process)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace log_detail
+
+LogLevel
+setLogLevel(LogLevel level)
+{
+    LogLevel prev = log_detail::currentLevel();
+    log_detail::currentLevel() = level;
+    return prev;
+}
+
+} // namespace dasdram

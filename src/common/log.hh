@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Status-message and error helpers in the spirit of gem5's logging.hh.
+ *
+ * fatal() is for user-caused conditions (bad configuration); panic() is for
+ * conditions that indicate a simulator bug. Both terminate.
+ */
+
+#ifndef DASDRAM_COMMON_LOG_HH
+#define DASDRAM_COMMON_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "common/strfmt.hh"
+
+namespace dasdram
+{
+
+/** Verbosity levels for non-fatal messages. */
+enum class LogLevel
+{
+    Quiet,  ///< suppress inform(); warnings still shown
+    Normal, ///< inform() and warn() shown
+    Debug,  ///< additionally show debugLog()
+};
+
+namespace log_detail
+{
+/** Process-wide verbosity (settable by front-ends / tests). */
+LogLevel &currentLevel();
+
+void emit(std::string_view tag, std::string_view msg);
+
+[[noreturn]] void
+die(std::string_view tag, std::string_view msg, bool abort_process);
+} // namespace log_detail
+
+/** Set global verbosity; returns the previous level. */
+LogLevel setLogLevel(LogLevel level);
+
+/** Informative message users should know but not worry about. */
+template <typename... Args>
+void
+inform(std::string_view fmt, Args &&...args)
+{
+    if (log_detail::currentLevel() != LogLevel::Quiet) {
+        log_detail::emit("info",
+                         formatStr(fmt, args...));
+    }
+}
+
+/** Something works well enough but deserves user attention. */
+template <typename... Args>
+void
+warn(std::string_view fmt, Args &&...args)
+{
+    log_detail::emit("warn", formatStr(fmt, args...));
+}
+
+/** Debug trace message, only shown at LogLevel::Debug. */
+template <typename... Args>
+void
+debugLog(std::string_view fmt, Args &&...args)
+{
+    if (log_detail::currentLevel() == LogLevel::Debug) {
+        log_detail::emit("debug",
+                         formatStr(fmt, args...));
+    }
+}
+
+/** User error: the simulation cannot continue; exits with status 1. */
+template <typename... Args>
+[[noreturn]] void
+fatal(std::string_view fmt, Args &&...args)
+{
+    log_detail::die("fatal", formatStr(fmt, args...),
+                    /*abort_process=*/false);
+}
+
+/** Simulator bug: should never happen regardless of user input; aborts. */
+template <typename... Args>
+[[noreturn]] void
+panic(std::string_view fmt, Args &&...args)
+{
+    log_detail::die("panic", formatStr(fmt, args...),
+                    /*abort_process=*/true);
+}
+
+} // namespace dasdram
+
+#endif // DASDRAM_COMMON_LOG_HH

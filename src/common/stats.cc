@@ -1,0 +1,100 @@
+#include "stats.hh"
+
+#include "common/strfmt.hh"
+
+namespace dasdram
+{
+
+void
+Distribution::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        if (v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+    ++count_;
+    sum_ += v;
+}
+
+void
+Distribution::reset()
+{
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+void
+StatGroup::addCounter(const std::string &name, Counter *c,
+                      const std::string &desc)
+{
+    counters_.push_back({name, c, desc});
+}
+
+void
+StatGroup::addDistribution(const std::string &name, Distribution *d,
+                           const std::string &desc)
+{
+    dists_.push_back({name, d, desc});
+}
+
+void
+StatGroup::addFormula(const std::string &name, std::function<double()> fn,
+                      const std::string &desc)
+{
+    formulas_.push_back({name, std::move(fn), desc});
+}
+
+void
+StatGroup::addChild(StatGroup *child)
+{
+    children_.push_back(child);
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    const std::string full =
+        prefix.empty() ? name_ : prefix + "." + name_;
+    for (const auto &e : counters_) {
+        os << formatStr("{}.{} {}", full, e.name, e.counter->value());
+        if (!e.desc.empty())
+            os << "  # " << e.desc;
+        os << '\n';
+    }
+    for (const auto &e : dists_) {
+        os << formatStr("{}.{} count={} mean={:.4f} min={:.4f} max={:.4f}",
+                          full, e.name, e.dist->count(), e.dist->mean(),
+                          e.dist->min(), e.dist->max());
+        if (!e.desc.empty())
+            os << "  # " << e.desc;
+        os << '\n';
+    }
+    for (const auto &e : formulas_) {
+        os << formatStr("{}.{} {:.6f}", full, e.name, e.fn());
+        if (!e.desc.empty())
+            os << "  # " << e.desc;
+        os << '\n';
+    }
+    for (const StatGroup *child : children_)
+        child->dump(os, full);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (const auto &e : counters_)
+        e.counter->reset();
+    for (const auto &e : dists_)
+        e.dist->reset();
+    for (StatGroup *child : children_)
+        child->resetAll();
+}
+
+} // namespace dasdram

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * A lightweight statistics package: named scalar counters, distributions
+ * and derived formulas grouped per component, dumpable as text.
+ *
+ * Unlike gem5's global registry, stats here are owned by a StatGroup that
+ * each component embeds, so independent simulations in one process (e.g.
+ * a parameter sweep in a bench binary) never interfere.
+ */
+
+#ifndef DASDRAM_COMMON_STATS_HH
+#define DASDRAM_COMMON_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dasdram
+{
+
+/** A named monotonically increasing scalar statistic. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    void set(std::uint64_t v) { value_ = v; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running mean/min/max/count over sampled values. */
+class Distribution
+{
+  public:
+    void sample(double v);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * A group of named statistics belonging to one component. Components
+ * register their counters once at construction; dump() walks the group
+ * tree for reporting.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    /** Register a counter under @p name. Pointer must outlive the group. */
+    void addCounter(const std::string &name, Counter *c,
+                    const std::string &desc = "");
+    void addDistribution(const std::string &name, Distribution *d,
+                         const std::string &desc = "");
+    /** Register a derived value computed at dump time. */
+    void addFormula(const std::string &name, std::function<double()> fn,
+                    const std::string &desc = "");
+    /** Attach a child group (e.g. per-bank stats). */
+    void addChild(StatGroup *child);
+
+    const std::string &name() const { return name_; }
+
+    /** Write "group.stat value # desc" lines to @p os, recursively. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Reset all counters/distributions, recursively (after warm-up). */
+    void resetAll();
+
+  private:
+    struct CounterEntry
+    {
+        std::string name;
+        Counter *counter;
+        std::string desc;
+    };
+    struct DistEntry
+    {
+        std::string name;
+        Distribution *dist;
+        std::string desc;
+    };
+    struct FormulaEntry
+    {
+        std::string name;
+        std::function<double()> fn;
+        std::string desc;
+    };
+
+    std::string name_;
+    std::vector<CounterEntry> counters_;
+    std::vector<DistEntry> dists_;
+    std::vector<FormulaEntry> formulas_;
+    std::vector<StatGroup *> children_;
+};
+
+} // namespace dasdram
+
+#endif // DASDRAM_COMMON_STATS_HH

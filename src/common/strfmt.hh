@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Minimal std::format-like string formatting for toolchains without
+ * <format> (libstdc++ < 13). Supports "{}" placeholders and a subset of
+ * format specs: "{:d}", "{:.Nf}", "{:.Ne}", "{:x}", width via "{:Nd}".
+ * Unmatched braces are emitted literally; excess placeholders are left
+ * as-is; excess arguments are ignored.
+ */
+
+#ifndef DASDRAM_COMMON_STRFMT_HH
+#define DASDRAM_COMMON_STRFMT_HH
+
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace dasdram
+{
+
+namespace fmt_detail
+{
+
+template <typename T>
+void
+appendOne(std::string &out, std::string_view spec, const T &value)
+{
+    std::ostringstream oss;
+    if (!spec.empty()) {
+        std::size_t i = 0;
+        if (i < spec.size() && spec[i] == '0') {
+            oss << std::setfill('0');
+            ++i;
+        }
+        std::size_t width = 0;
+        while (i < spec.size() && spec[i] >= '0' && spec[i] <= '9') {
+            width = width * 10 + static_cast<std::size_t>(spec[i] - '0');
+            ++i;
+        }
+        if (width)
+            oss << std::setw(static_cast<int>(width));
+        if (i < spec.size() && spec[i] == '.') {
+            ++i;
+            int prec = 0;
+            while (i < spec.size() && spec[i] >= '0' && spec[i] <= '9') {
+                prec = prec * 10 + (spec[i] - '0');
+                ++i;
+            }
+            oss << std::setprecision(prec);
+        }
+        if (i < spec.size()) {
+            switch (spec[i]) {
+              case 'f':
+                oss << std::fixed;
+                break;
+              case 'e':
+                oss << std::scientific;
+                break;
+              case 'x':
+                oss << std::hex;
+                break;
+              case 'd':
+              default:
+                break;
+            }
+        }
+    }
+    oss << value;
+    out += oss.str();
+}
+
+inline void
+formatRec(std::string &out, std::string_view fmt)
+{
+    // No arguments left: still honour "{{" / "}}" escapes.
+    for (std::size_t i = 0; i < fmt.size(); ++i) {
+        if ((fmt[i] == '{' || fmt[i] == '}') && i + 1 < fmt.size() &&
+            fmt[i + 1] == fmt[i]) {
+            out += fmt[i];
+            ++i;
+            continue;
+        }
+        out += fmt[i];
+    }
+}
+
+template <typename T, typename... Rest>
+void
+formatRec(std::string &out, std::string_view fmt, const T &first,
+          const Rest &...rest)
+{
+    for (std::size_t i = 0; i < fmt.size(); ++i) {
+        if (fmt[i] == '{') {
+            if (i + 1 < fmt.size() && fmt[i + 1] == '{') {
+                out += '{';
+                ++i;
+                continue;
+            }
+            std::size_t close = fmt.find('}', i);
+            if (close == std::string_view::npos) {
+                out.append(fmt.substr(i));
+                return;
+            }
+            std::string_view spec = fmt.substr(i + 1, close - i - 1);
+            if (!spec.empty() && spec.front() == ':')
+                spec.remove_prefix(1);
+            appendOne(out, spec, first);
+            formatRec(out, fmt.substr(close + 1), rest...);
+            return;
+        }
+        if (fmt[i] == '}' && i + 1 < fmt.size() && fmt[i + 1] == '}') {
+            out += '}';
+            ++i;
+            continue;
+        }
+        out += fmt[i];
+    }
+}
+
+} // namespace fmt_detail
+
+/** Format @p fmt with "{}"-style placeholders. */
+template <typename... Args>
+std::string
+formatStr(std::string_view fmt, const Args &...args)
+{
+    std::string out;
+    out.reserve(fmt.size() + 16 * sizeof...(args));
+    fmt_detail::formatRec(out, fmt, args...);
+    return out;
+}
+
+} // namespace dasdram
+
+#endif // DASDRAM_COMMON_STRFMT_HH

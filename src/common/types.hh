@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fundamental scalar types used throughout the simulator.
+ */
+
+#ifndef DASDRAM_COMMON_TYPES_HH
+#define DASDRAM_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace dasdram
+{
+
+/** Physical or virtual byte address. */
+using Addr = std::uint64_t;
+
+/** A point in time or a duration, in memory-controller clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Retired-instruction count. */
+using InstCount = std::uint64_t;
+
+/** Sentinel for "never" / "not scheduled". */
+constexpr Cycle kCycleMax = std::numeric_limits<Cycle>::max();
+
+/** Sentinel for an invalid address. */
+constexpr Addr kAddrInvalid = std::numeric_limits<Addr>::max();
+
+/** Bytes per kibibyte / mebibyte / gibibyte. */
+constexpr std::uint64_t KiB = 1024ULL;
+constexpr std::uint64_t MiB = 1024ULL * KiB;
+constexpr std::uint64_t GiB = 1024ULL * MiB;
+
+} // namespace dasdram
+
+#endif // DASDRAM_COMMON_TYPES_HH

@@ -1,0 +1,59 @@
+#include "area_model.hh"
+
+#include "common/log.hh"
+
+namespace dasdram
+{
+
+namespace
+{
+
+/** Area (in cell-row-height units) per row of capacity for a subarray
+ *  of @p cells rows with @p extra peripheral rows. */
+double
+unitArea(double cells, double sense_amp_rows, double extra)
+{
+    return (cells + sense_amp_rows + extra) / cells;
+}
+
+} // namespace
+
+double
+asymmetricAreaOverhead(double fast_fraction, const AreaModelParams &p)
+{
+    if (fast_fraction < 0.0 || fast_fraction > 1.0)
+        fatal("fast fraction must be within [0, 1]");
+    // Baseline: homogeneous slow subarrays, no migration row.
+    double base = unitArea(p.slowBitlineCells, p.senseAmpRows, 0.0);
+    // DAS chip: every subarray carries a migration row; fast capacity
+    // pays the sense-amp stripe over far fewer cells.
+    double slow_unit = unitArea(p.slowBitlineCells, p.senseAmpRows,
+                                p.migrationRowOverhead);
+    double fast_unit = unitArea(p.fastBitlineCells, p.senseAmpRows,
+                                p.migrationRowOverhead);
+    double total = (1.0 - fast_fraction) * slow_unit +
+                   fast_fraction * fast_unit;
+    return total / base - 1.0;
+}
+
+double
+fsDramAreaOverhead(const AreaModelParams &p)
+{
+    double base = unitArea(p.slowBitlineCells, p.senseAmpRows, 0.0);
+    double fast = unitArea(p.fastBitlineCells, p.senseAmpRows, 0.0);
+    return fast / base - 1.0;
+}
+
+double
+tlDramAreaOverhead(double near_rows, const AreaModelParams &p)
+{
+    // Open-bitline constraint: the near segment sits on both edges of
+    // the subarray at half cell density, so every near-segment row
+    // wastes (1/density - 1) rows of silicon; the isolation transistors
+    // add a fixed stripe (Section 3.1).
+    double wasted = near_rows * (1.0 / p.nearSegmentDensity - 1.0) +
+                    p.isolationRows;
+    return wasted / (p.slowBitlineCells + p.senseAmpRows);
+}
+
+} // namespace dasdram

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Analytic silicon-area model for hybrid-bitline DRAM designs
+ * (Sections 3.1, 4.3 and 7.6): the asymmetric-subarray overhead as a
+ * function of the fast-level capacity ratio, and the TL-DRAM
+ * comparison point.
+ */
+
+#ifndef DASDRAM_CORE_AREA_MODEL_HH
+#define DASDRAM_CORE_AREA_MODEL_HH
+
+namespace dasdram
+{
+
+/** Geometry constants of the area model. */
+struct AreaModelParams
+{
+    /** Cells per slow (commodity) bitline. */
+    double slowBitlineCells = 512;
+    /** Cells per fast bitline (Section 4.3: 128). */
+    double fastBitlineCells = 128;
+    /**
+     * Sense-amplifier stripe height in cell-row equivalents
+     * (Section 3.1 quotes 108 rows).
+     */
+    double senseAmpRows = 108;
+    /**
+     * Extra rows per fast subarray for the migration-cell row plus
+     * decoder/column-mux overhead of the additional subarrays.
+     */
+    double migrationRowOverhead = 2;
+    /** TL-DRAM: isolation-transistor row equivalents (≈11.5 rows). */
+    double isolationRows = 11.5;
+    /** TL-DRAM: near-segment cell density relative to normal (1/2). */
+    double nearSegmentDensity = 0.5;
+};
+
+/**
+ * Area overhead of a DAS/CHARM-style asymmetric-subarray DRAM with
+ * fast-level capacity fraction @p fast_fraction (e.g. 1/8), relative to
+ * a homogeneous slow-subarray chip of equal capacity.
+ * Section 4.3: ≈6.6 % at 1/8; Section 7.6: ≈11.3 % at 1/4.
+ */
+double asymmetricAreaOverhead(double fast_fraction,
+                              const AreaModelParams &p = {});
+
+/**
+ * Area overhead of a hypothetical homogeneous fast-bitline chip
+ * (FS-DRAM / RLDRAM-class), relative to the commodity chip.
+ */
+double fsDramAreaOverhead(const AreaModelParams &p = {});
+
+/**
+ * Area overhead of TL-DRAM with @p near_rows near-segment rows per
+ * 512-cell subarray (Section 3.1: ≈24 % at 128 rows).
+ */
+double tlDramAreaOverhead(double near_rows, const AreaModelParams &p = {});
+
+} // namespace dasdram
+
+#endif // DASDRAM_CORE_AREA_MODEL_HH

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * The DAS-DRAM management mechanism (Section 5): hardware address
+ * translation with a tag cache spilling into the LLC, promotion
+ * filtering, fast-slot victim selection and row swapping through the
+ * migration engine. Also covers the static baselines (SAS/CHARM) and
+ * plain designs (standard/FS) via its mode switch, so every design in
+ * Section 7 goes through one code path with different configuration.
+ */
+
+#ifndef DASDRAM_CORE_DAS_MANAGER_HH
+#define DASDRAM_CORE_DAS_MANAGER_HH
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "common/stats.hh"
+#include "core/inclusive_directory.hh"
+#include "core/promotion_policy.hh"
+#include "core/replacement_policy.hh"
+#include "core/subarray_layout.hh"
+#include "core/translation_cache.hh"
+#include "core/translation_table.hh"
+#include "dram/dram_system.hh"
+
+namespace dasdram
+{
+
+/** How the fast level is managed. */
+enum class ManagementMode
+{
+    None,    ///< no remapping (standard DRAM, FS-DRAM)
+    Static,  ///< profiling-based fixed mapping (SAS-DRAM, CHARM)
+    Dynamic, ///< DAS-DRAM: translation + migration
+};
+
+/** Manager configuration (Table 1 defaults). */
+struct DasConfig
+{
+    ManagementMode mode = ManagementMode::Dynamic;
+    std::uint64_t translationCacheBytes = 128 * KiB;
+    unsigned translationCacheAssoc = 8;
+    PromotionConfig promotion{};
+    FastReplPolicy replacement = FastReplPolicy::Lru;
+    /** DAS-DRAM (FM): apply swaps with zero latency. */
+    bool zeroMigrationLatency = false;
+
+    /**
+     * Exclusive (paper's choice, Section 5) vs. inclusive fast-level
+     * management. Inclusive keeps the slow originals and caches
+     * *copies* in the fast slots: a clean-victim promotion needs one
+     * migration (1.5 tRC) instead of a swap (3 tRC), but dirty victims
+     * must be written back first, and 1/8 of capacity is duplicated
+     * (capacity loss is not observable in this timing model; the
+     * latency trade-off is).
+     */
+    bool exclusiveCache = true;
+    /** Base address of the in-memory translation table region. */
+    Addr tableBase = 7ULL * GiB + 512 * MiB;
+    /** LLC hit latency charged to table walks that hit the LLC. */
+    Cycle llcLatencyTicks = cpuCyclesToTicks(20);
+};
+
+/**
+ * Counts of where DRAM data accesses were serviced (Figures 7c/7f/8b).
+ */
+struct LocationStats
+{
+    std::uint64_t rowBuffer = 0;
+    std::uint64_t fastLevel = 0;
+    std::uint64_t slowLevel = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return rowBuffer + fastLevel + slowLevel;
+    }
+};
+
+/**
+ * Memory-side manager between the LLC and the DRAM system.
+ */
+class DasManager
+{
+  public:
+    using DoneFn = std::function<void(Cycle)>;
+
+    /**
+     * @param caches may be null only when mode != Dynamic (table walks
+     *        need the LLC).
+     */
+    DasManager(DramSystem &dram, CacheHierarchy *caches,
+               const AsymmetricLayout &layout, const DasConfig &cfg);
+
+    /**
+     * Issue a memory access for line @p addr. @p done fires with the
+     * completion tick (possibly synchronously is never the case here:
+     * DRAM always takes time; but forwarded reads may complete at a
+     * near tick). Writes may pass a no-op @p done.
+     */
+    void access(Addr addr, bool is_write, int core, DoneFn done,
+                Cycle now);
+
+    /** Retry deferred submissions; call whenever the system ticks. */
+    void tick(Cycle now);
+
+    /** Earliest tick tick() has useful work (kCycleMax when none). */
+    Cycle nextWakeTick(Cycle now) const;
+
+    /** Outstanding manager-side work (excludes the DRAM system). */
+    bool busy() const { return !pending_.empty(); }
+
+    /// @name Introspection
+    /// @{
+    TranslationTable &table() { return *table_; }
+    const TranslationTable &table() const { return *table_; }
+    TranslationCache *translationCache() { return tc_.get(); }
+    /** Non-null only in inclusive dynamic mode. */
+    InclusiveDirectory *inclusiveDirectory() { return incl_.get(); }
+    const AsymmetricLayout &layout() const { return *layout_; }
+    const DasConfig &config() const { return cfg_; }
+
+    LocationStats locations() const;
+    std::uint64_t promotions() const { return promotions_.value(); }
+    std::uint64_t demandAccesses() const { return demandAccesses_.value(); }
+    std::uint64_t footprintRows() const;
+
+    StatGroup &stats() { return statGroup_; }
+    /** Clear statistic counters (not mappings) after warm-up. */
+    void resetStats();
+    /// @}
+
+  private:
+    /** A translated request waiting for queue space / table walk. */
+    struct PendingAccess
+    {
+        Addr addr = 0;
+        bool isWrite = false;
+        int core = -1;
+        GlobalRowId logical = 0;
+        Cycle readyTick = 0;
+        DoneFn done;
+    };
+
+    /** Perform translation timing; returns extra delay in ticks, or
+     *  defers the access (returns kCycleMax) when a DRAM table read is
+     *  needed. */
+    Cycle translationDelay(const PendingAccess &acc, Cycle now);
+
+    void submitReady(PendingAccess &&acc, Cycle now);
+    void trySubmit(PendingAccess &&acc, Cycle now);
+    void onDataComplete(MemRequest &req, Cycle at, const DoneFn &done);
+    void maybePromote(GlobalRowId logical, Cycle now);
+    void maybePromoteInclusive(GlobalRowId logical, Cycle now);
+    GlobalRowId physicalFor(GlobalRowId logical) const;
+
+    DramSystem *dram_;
+    CacheHierarchy *caches_;
+    const AsymmetricLayout *layout_;
+    DasConfig cfg_;
+
+    std::unique_ptr<TranslationTable> table_;
+    std::unique_ptr<InclusiveDirectory> incl_; ///< inclusive mode only
+    std::unique_ptr<TranslationCache> tc_;
+    std::unique_ptr<PromotionFilter> filter_;
+    std::unique_ptr<FastSlotReplacement> repl_;
+
+    std::deque<PendingAccess> pending_;
+    /** In-flight table-line walks: accesses waiting on the same line. */
+    std::unordered_map<Addr, std::vector<PendingAccess>> walksInFlight_;
+    std::unordered_set<std::uint64_t> swapsInFlight_; ///< group ids
+    std::unordered_set<GlobalRowId> touchedRows_;     ///< footprint
+
+    StatGroup statGroup_;
+    Counter demandAccesses_, rowBufferHits_, fastAccesses_, slowAccesses_;
+    Counter promotions_, promotionsSkippedBusy_, tableWalksLlc_;
+    Counter tableWalksDram_, writebacks_;
+    Counter cleanPromotions_, dirtyPromotions_; ///< inclusive mode
+};
+
+} // namespace dasdram
+
+#endif // DASDRAM_CORE_DAS_MANAGER_HH

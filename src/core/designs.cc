@@ -1,0 +1,117 @@
+#include "designs.hh"
+
+#include <array>
+
+#include "common/log.hh"
+
+namespace dasdram
+{
+
+namespace
+{
+
+std::array<DesignSpec, 6>
+makeSpecs()
+{
+    std::array<DesignSpec, 6> s{};
+
+    DesignSpec &standard = s[0];
+    standard.kind = DesignKind::Standard;
+    standard.name = "Standard";
+
+    DesignSpec &sas = s[1];
+    sas.kind = DesignKind::Sas;
+    sas.name = "SAS-DRAM";
+    sas.heterogeneous = true;
+    sas.mode = ManagementMode::Static;
+    sas.needsProfiling = true;
+
+    DesignSpec &charm = s[2];
+    charm.kind = DesignKind::Charm;
+    charm.name = "CHARM";
+    charm.heterogeneous = true;
+    charm.charmColumnOpt = true;
+    charm.mode = ManagementMode::Static;
+    charm.needsProfiling = true;
+
+    DesignSpec &das = s[3];
+    das.kind = DesignKind::Das;
+    das.name = "DAS-DRAM";
+    das.heterogeneous = true;
+    das.mode = ManagementMode::Dynamic;
+
+    DesignSpec &fm = s[4];
+    fm.kind = DesignKind::DasFm;
+    fm.name = "DAS-DRAM (FM)";
+    fm.heterogeneous = true;
+    fm.mode = ManagementMode::Dynamic;
+    fm.zeroMigrationLatency = true;
+
+    DesignSpec &fs = s[5];
+    fs.kind = DesignKind::Fs;
+    fs.name = "FS-DRAM";
+    fs.allFast = true;
+
+    return s;
+}
+
+const std::array<DesignSpec, 6> &
+specs()
+{
+    static const std::array<DesignSpec, 6> table = makeSpecs();
+    return table;
+}
+
+} // namespace
+
+const DesignSpec &
+designSpec(DesignKind kind)
+{
+    return specs()[static_cast<std::size_t>(kind)];
+}
+
+const std::vector<DesignKind> &
+allDesigns()
+{
+    static const std::vector<DesignKind> v = {
+        DesignKind::Standard, DesignKind::Sas,   DesignKind::Charm,
+        DesignKind::Das,      DesignKind::DasFm, DesignKind::Fs,
+    };
+    return v;
+}
+
+const std::vector<DesignKind> &
+evaluatedDesigns()
+{
+    static const std::vector<DesignKind> v = {
+        DesignKind::Sas, DesignKind::Charm, DesignKind::Das,
+        DesignKind::DasFm, DesignKind::Fs,
+    };
+    return v;
+}
+
+const std::string &
+toString(DesignKind kind)
+{
+    return designSpec(kind).name;
+}
+
+DesignKind
+parseDesign(const std::string &name)
+{
+    if (name == "standard")
+        return DesignKind::Standard;
+    if (name == "sas")
+        return DesignKind::Sas;
+    if (name == "charm")
+        return DesignKind::Charm;
+    if (name == "das")
+        return DesignKind::Das;
+    if (name == "das-fm" || name == "dasfm")
+        return DesignKind::DasFm;
+    if (name == "fs")
+        return DesignKind::Fs;
+    fatal("unknown DRAM design '{}'", name);
+}
+
+} // namespace dasdram

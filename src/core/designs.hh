@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The five DRAM designs evaluated in Section 7, plus the standard
+ * baseline, as a configuration registry consumed by the experiment
+ * driver.
+ */
+
+#ifndef DASDRAM_CORE_DESIGNS_HH
+#define DASDRAM_CORE_DESIGNS_HH
+
+#include <string>
+#include <vector>
+
+#include "core/das_manager.hh"
+
+namespace dasdram
+{
+
+/** DRAM designs from Section 7. */
+enum class DesignKind
+{
+    Standard, ///< homogeneous commodity DRAM (baseline)
+    Sas,      ///< static asymmetric-subarray DRAM (profiled)
+    Charm,    ///< SAS + optimised fast-level column access
+    Das,      ///< this paper: dynamic asymmetric subarray
+    DasFm,    ///< DAS with free (zero-latency) migration
+    Fs,       ///< hypothetical all-fast-subarray DRAM
+};
+
+/** Everything the simulator needs to instantiate one design. */
+struct DesignSpec
+{
+    DesignKind kind = DesignKind::Standard;
+    std::string name;           ///< display name, e.g. "DAS-DRAM"
+    bool heterogeneous = false; ///< has fast + slow subarrays
+    bool allFast = false;       ///< FS-DRAM: every row fast
+    bool charmColumnOpt = false; ///< reduced fast-level tCL
+    ManagementMode mode = ManagementMode::None;
+    bool zeroMigrationLatency = false;
+    bool needsProfiling = false; ///< SAS/CHARM profiling pass
+};
+
+/** Specification of @p kind. */
+const DesignSpec &designSpec(DesignKind kind);
+
+/** All designs in the Section 7 presentation order. */
+const std::vector<DesignKind> &allDesigns();
+
+/** The non-baseline designs shown in Figures 7a/7d. */
+const std::vector<DesignKind> &evaluatedDesigns();
+
+/** Display name of @p kind. */
+const std::string &toString(DesignKind kind);
+
+/** Parse a design name ("standard", "sas", "charm", "das", "das-fm",
+ *  "fs"); fatal on unknown names. */
+DesignKind parseDesign(const std::string &name);
+
+} // namespace dasdram
+
+#endif // DASDRAM_CORE_DESIGNS_HH

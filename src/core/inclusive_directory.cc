@@ -1,0 +1,88 @@
+#include "inclusive_directory.hh"
+
+#include "common/log.hh"
+
+namespace dasdram
+{
+
+InclusiveDirectory::InclusiveDirectory(const AsymmetricLayout &layout)
+    : layout_(&layout), slots_(layout.fastSlotsPerGroup())
+{
+    entries_.resize(layout.totalGroups() * slots_);
+}
+
+std::size_t
+InclusiveDirectory::index(std::uint64_t group, unsigned slot) const
+{
+    return group * slots_ + slot;
+}
+
+InclusiveDirectory::Copy
+InclusiveDirectory::find(GlobalRowId logical) const
+{
+    std::uint64_t group = layout_->globalGroupOf(logical);
+    auto lslot = static_cast<std::uint8_t>(
+        logical % layout_->groupSize());
+    Copy c;
+    for (unsigned s = 0; s < slots_; ++s) {
+        const Entry &e = entries_[index(group, s)];
+        if (e.valid && e.logicalSlot == lslot) {
+            c.valid = true;
+            c.fastSlot = s;
+            c.dirty = e.dirty;
+            return c;
+        }
+    }
+    return c;
+}
+
+GlobalRowId
+InclusiveDirectory::occupant(std::uint64_t group, unsigned slot) const
+{
+    const Entry &e = entries_[index(group, slot)];
+    if (!e.valid)
+        return kAddrInvalid;
+    return group * layout_->groupSize() + e.logicalSlot;
+}
+
+bool
+InclusiveDirectory::dirty(std::uint64_t group, unsigned slot) const
+{
+    const Entry &e = entries_[index(group, slot)];
+    return e.valid && e.dirty;
+}
+
+void
+InclusiveDirectory::install(GlobalRowId logical, unsigned slot)
+{
+    std::uint64_t group = layout_->globalGroupOf(logical);
+    Entry &e = entries_[index(group, slot)];
+    if (!e.valid)
+        ++valid_;
+    e.valid = true;
+    e.dirty = false;
+    e.logicalSlot =
+        static_cast<std::uint8_t>(logical % layout_->groupSize());
+}
+
+void
+InclusiveDirectory::markDirty(GlobalRowId logical)
+{
+    Copy c = find(logical);
+    if (!c.valid)
+        panic("markDirty for a row without a fast copy");
+    std::uint64_t group = layout_->globalGroupOf(logical);
+    entries_[index(group, c.fastSlot)].dirty = true;
+}
+
+void
+InclusiveDirectory::evict(std::uint64_t group, unsigned slot)
+{
+    Entry &e = entries_[index(group, slot)];
+    if (e.valid)
+        --valid_;
+    e.valid = false;
+    e.dirty = false;
+}
+
+} // namespace dasdram

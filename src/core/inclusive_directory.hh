@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Fast-level directory for the INCLUSIVE-cache management alternative
+ * (Section 5): fast slots hold *copies* of slow rows, the originals
+ * keep their data, and only the fast level's contents are dynamic.
+ *
+ * The paper adopts the exclusive scheme (no capacity loss) but
+ * discusses this variant's trade-offs: a smaller translation table and
+ * faster replacement when the victim is clean (one migration instead
+ * of a swap), at the cost of 1/8 of capacity. This class plus
+ * DasManager's inclusive mode make that trade-off measurable.
+ */
+
+#ifndef DASDRAM_CORE_INCLUSIVE_DIRECTORY_HH
+#define DASDRAM_CORE_INCLUSIVE_DIRECTORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/subarray_layout.hh"
+#include "dram/geometry.hh"
+
+namespace dasdram
+{
+
+/**
+ * Tracks, for every migration group, which logical (slow-slot) row is
+ * currently copied into each fast slot, and whether the copy is dirty.
+ */
+class InclusiveDirectory
+{
+  public:
+    explicit InclusiveDirectory(const AsymmetricLayout &layout);
+
+    /** Lookup result for a logical row. */
+    struct Copy
+    {
+        bool valid = false;
+        unsigned fastSlot = 0;
+        bool dirty = false;
+    };
+
+    /** Where (if anywhere) @p logical is cached in its group. */
+    Copy find(GlobalRowId logical) const;
+
+    /**
+     * Contents of fast slot @p slot of @p group.
+     * @return the cached logical row, or kAddrInvalid when empty.
+     */
+    GlobalRowId occupant(std::uint64_t group, unsigned slot) const;
+
+    /** True iff fast slot @p slot of @p group holds a dirty copy. */
+    bool dirty(std::uint64_t group, unsigned slot) const;
+
+    /**
+     * Install a copy of @p logical into fast slot @p slot of its
+     * group, replacing any previous occupant.
+     */
+    void install(GlobalRowId logical, unsigned slot);
+
+    /** Mark the copy of @p logical dirty. @pre find(logical).valid. */
+    void markDirty(GlobalRowId logical);
+
+    /** Drop the copy in @p slot of @p group (after write-back). */
+    void evict(std::uint64_t group, unsigned slot);
+
+    /** Number of valid copies currently held. */
+    std::uint64_t validCopies() const { return valid_; }
+
+  private:
+    struct Entry
+    {
+        std::uint8_t logicalSlot = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    std::size_t index(std::uint64_t group, unsigned slot) const;
+
+    const AsymmetricLayout *layout_;
+    unsigned slots_;
+    std::vector<Entry> entries_; ///< [group * slots + slot]
+    std::uint64_t valid_ = 0;
+};
+
+} // namespace dasdram
+
+#endif // DASDRAM_CORE_INCLUSIVE_DIRECTORY_HH

@@ -1,0 +1,55 @@
+#include "migration.hh"
+
+#include "common/bitutil.hh"
+
+namespace dasdram
+{
+
+MigrationProcedure::MigrationProcedure(const DramTiming &timing)
+    : timing_(&timing)
+{
+}
+
+std::vector<MigrationStep>
+MigrationProcedure::steps() const
+{
+    const ArrayTiming &slow = timing_->slow;
+    // A tightened restore saves one quarter of tRC on each of the two
+    // activate-restore-precharge passes: the migration row's contents
+    // are consumed immediately, so it does not need retention-grade
+    // voltage (Section 4.2).
+    Cycle pass = divCeil(3 * slow.tRC, 4); // 0.75 tRC per pass
+    Cycle sense = slow.tRCD;
+    return {
+        {"activate source row, sense into half row buffer", sense},
+        {"restore into migration row, precharge", pass - sense},
+        {"activate migration row into the other half buffer", sense},
+        {"restore into destination row, precharge", pass - sense},
+    };
+}
+
+Cycle
+MigrationProcedure::migrationCycles() const
+{
+    Cycle total = 0;
+    for (const MigrationStep &s : steps())
+        total += s.cycles;
+    return total;
+}
+
+Cycle
+MigrationProcedure::swapCycles() const
+{
+    // Figure 6: steps 1 and 2 move promotee and victim into migration
+    // rows; steps 3 and 4 run the two restore directions in parallel.
+    // The critical path is two full migrations.
+    return 2 * migrationCycles();
+}
+
+double
+MigrationProcedure::swapNanoseconds() const
+{
+    return static_cast<double>(swapCycles()) * 1.25;
+}
+
+} // namespace dasdram

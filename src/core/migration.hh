@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Command-level model of the row-migration procedure (Figure 3d) and
+ * the four-step promotion swap (Figure 6), used to derive and document
+ * the 1.5 tRC migration / 3 tRC (146.25 ns) swap latencies of Table 1.
+ */
+
+#ifndef DASDRAM_CORE_MIGRATION_HH
+#define DASDRAM_CORE_MIGRATION_HH
+
+#include <string>
+#include <vector>
+
+#include "dram/timing.hh"
+
+namespace dasdram
+{
+
+/** One step of the migration procedure with its latency. */
+struct MigrationStep
+{
+    std::string name;
+    Cycle cycles; ///< memory-bus cycles
+};
+
+/**
+ * Derives the step sequence of a single row migration between two
+ * neighbouring subarrays through the shared half row buffers and the
+ * migration row (Figure 3d). The restore into the migration row is
+ * tightened (the data is read right back out, so full retention-grade
+ * restore is unnecessary), which is what brings 2 tRC down to 1.5 tRC.
+ */
+class MigrationProcedure
+{
+  public:
+    explicit MigrationProcedure(const DramTiming &timing);
+
+    /** The four steps of one half-row-pair migration (Figure 3d). */
+    std::vector<MigrationStep> steps() const;
+
+    /** Total latency of one row migration (≈ 1.5 tRC). */
+    Cycle migrationCycles() const;
+
+    /**
+     * Total latency of a promotion swap (Figure 6): four movement
+     * steps, with the two directions overlapped so the critical path
+     * is two migrations (3 tRC = 146.25 ns for DDR3-1600).
+     */
+    Cycle swapCycles() const;
+
+    /** Same, in nanoseconds. */
+    double swapNanoseconds() const;
+
+  private:
+    const DramTiming *timing_;
+};
+
+} // namespace dasdram
+
+#endif // DASDRAM_CORE_MIGRATION_HH

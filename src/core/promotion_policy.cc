@@ -1,0 +1,52 @@
+#include "promotion_policy.hh"
+
+#include "common/log.hh"
+
+namespace dasdram
+{
+
+PromotionFilter::PromotionFilter(const PromotionConfig &cfg)
+    : cfg_(cfg), statGroup_("promotionFilter")
+{
+    if (cfg.threshold == 0)
+        fatal("promotion threshold must be at least 1");
+    slots_.resize(cfg.counters ? cfg.counters : 1);
+    statGroup_.addCounter("filtered", &filtered_,
+                          "slow accesses not (yet) promoted");
+    statGroup_.addCounter("allowed", &allowed_, "promotions allowed");
+}
+
+bool
+PromotionFilter::onSlowAccess(GlobalRowId row)
+{
+    if (cfg_.threshold <= 1) {
+        allowed_.inc();
+        return true;
+    }
+    Slot &s = slots_[row % slots_.size()];
+    if (!s.valid || s.row != row) {
+        // Take over the counter for this recently used row.
+        s.valid = true;
+        s.row = row;
+        s.count = 1;
+    } else {
+        ++s.count;
+    }
+    if (s.count >= cfg_.threshold) {
+        s.valid = false;
+        allowed_.inc();
+        return true;
+    }
+    filtered_.inc();
+    return false;
+}
+
+void
+PromotionFilter::clear(GlobalRowId row)
+{
+    Slot &s = slots_[row % slots_.size()];
+    if (s.valid && s.row == row)
+        s.valid = false;
+}
+
+} // namespace dasdram

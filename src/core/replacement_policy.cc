@@ -1,0 +1,87 @@
+#include "replacement_policy.hh"
+
+#include "common/log.hh"
+
+namespace dasdram
+{
+
+FastReplPolicy
+parseFastReplPolicy(const std::string &name)
+{
+    if (name == "lru")
+        return FastReplPolicy::Lru;
+    if (name == "random")
+        return FastReplPolicy::Random;
+    if (name == "sequential")
+        return FastReplPolicy::Sequential;
+    if (name == "pseudorandom")
+        return FastReplPolicy::PseudoRandom;
+    fatal("unknown fast-slot replacement policy '{}'", name);
+}
+
+const char *
+toString(FastReplPolicy p)
+{
+    switch (p) {
+      case FastReplPolicy::Lru:
+        return "lru";
+      case FastReplPolicy::Random:
+        return "random";
+      case FastReplPolicy::Sequential:
+        return "sequential";
+      case FastReplPolicy::PseudoRandom:
+        return "pseudorandom";
+    }
+    return "?";
+}
+
+FastSlotReplacement::FastSlotReplacement(FastReplPolicy policy,
+                                         unsigned slots_per_group,
+                                         std::uint64_t total_groups,
+                                         std::uint64_t seed)
+    : policy_(policy), slots_(slots_per_group), totalGroups_(total_groups),
+      rng_(seed)
+{
+    if (slots_ == 0)
+        fatal("fast-slot replacement needs at least one slot per group");
+    if (policy_ == FastReplPolicy::Lru)
+        lastUse_.assign(totalGroups_ * slots_, 0);
+    if (policy_ == FastReplPolicy::Sequential)
+        seqPtr_.assign(totalGroups_, 0);
+}
+
+void
+FastSlotReplacement::onFastAccess(std::uint64_t group, unsigned slot)
+{
+    if (policy_ == FastReplPolicy::Lru)
+        lastUse_[group * slots_ + slot] = ++stampCounter_;
+}
+
+unsigned
+FastSlotReplacement::chooseVictim(std::uint64_t group)
+{
+    switch (policy_) {
+      case FastReplPolicy::Lru: {
+        const std::uint64_t *base = &lastUse_[group * slots_];
+        unsigned victim = 0;
+        for (unsigned s = 1; s < slots_; ++s) {
+            if (base[s] < base[victim])
+                victim = s;
+        }
+        return victim;
+      }
+      case FastReplPolicy::Random:
+        return static_cast<unsigned>(rng_.nextBelow(slots_));
+      case FastReplPolicy::Sequential: {
+        std::uint8_t &ptr = seqPtr_[group];
+        unsigned victim = ptr;
+        ptr = static_cast<std::uint8_t>((ptr + 1) % slots_);
+        return victim;
+      }
+      case FastReplPolicy::PseudoRandom:
+        return static_cast<unsigned>(globalCounter_++ % slots_);
+    }
+    return 0;
+}
+
+} // namespace dasdram

@@ -1,0 +1,84 @@
+#include "static_profile.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/log.hh"
+
+namespace dasdram
+{
+
+StaticProfiler::StaticProfiler(const AddressMapper &mapper,
+                               const AsymmetricLayout &layout)
+    : mapper_(&mapper), layout_(&layout)
+{
+}
+
+void
+StaticProfiler::profile(TraceSource &trace, InstCount instructions,
+                        Addr base_offset)
+{
+    trace.reset();
+    InstCount seen = 0;
+    TraceEntry e;
+    while (seen < instructions && trace.next(e)) {
+        seen += e.gap + 1;
+        DramLoc loc = mapper_->decode(e.addr + base_offset);
+        GlobalRowId row =
+            makeGlobalRowId(mapper_->geometry(), loc.channel, loc.rank,
+                            loc.bank, loc.row);
+        ++counts_[row];
+    }
+}
+
+std::uint64_t
+StaticProfiler::assign(TranslationTable &table) const
+{
+    // Bucket referenced rows per migration group.
+    std::unordered_map<std::uint64_t, std::vector<GlobalRowId>> groups;
+    for (const auto &kv : counts_)
+        groups[layout_->globalGroupOf(kv.first)].push_back(kv.first);
+
+    const unsigned k = layout_->fastSlotsPerGroup();
+    std::uint64_t placed = 0;
+    for (auto &kv : groups) {
+        std::vector<GlobalRowId> &rows = kv.second;
+        std::sort(rows.begin(), rows.end(),
+                  [this](GlobalRowId a, GlobalRowId b) {
+                      std::uint64_t ca = countOf(a), cb = countOf(b);
+                      return ca != cb ? ca > cb : a < b;
+                  });
+        // Put the top-k rows into the k fast slots (order irrelevant):
+        // each wanted row displaces an occupant that is not itself hot.
+        std::uint64_t group = kv.first;
+        unsigned limit =
+            static_cast<unsigned>(std::min<std::uint64_t>(k, rows.size()));
+        std::unordered_set<GlobalRowId> top(rows.begin(),
+                                            rows.begin() + limit);
+        for (unsigned i = 0; i < limit; ++i) {
+            GlobalRowId wanted = rows[i];
+            if (table.isFast(wanted)) {
+                ++placed;
+                continue;
+            }
+            for (unsigned s = 0; s < k; ++s) {
+                GlobalRowId occ = table.logicalInFastSlot(group, s);
+                if (!top.count(occ)) {
+                    table.swap(wanted, occ);
+                    ++placed;
+                    break;
+                }
+            }
+        }
+    }
+    return placed;
+}
+
+std::uint64_t
+StaticProfiler::countOf(GlobalRowId row) const
+{
+    auto it = counts_.find(row);
+    return it == counts_.end() ? 0 : it->second;
+}
+
+} // namespace dasdram

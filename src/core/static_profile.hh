@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Profiling-based static assignment for the SAS-DRAM and CHARM
+ * baselines (Section 7: "Each workload is profiled first and the
+ * most-frequently-used portion of its footprint is pre-assigned to the
+ * fast level").
+ */
+
+#ifndef DASDRAM_CORE_STATIC_PROFILE_HH
+#define DASDRAM_CORE_STATIC_PROFILE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/translation_table.hh"
+#include "cpu/trace.hh"
+#include "dram/address_mapping.hh"
+
+namespace dasdram
+{
+
+/**
+ * Counts row-level reference frequencies over a trace prefix and
+ * programs a TranslationTable so that, in every migration group, the
+ * most-referenced rows occupy the fast slots.
+ */
+class StaticProfiler
+{
+  public:
+    StaticProfiler(const AddressMapper &mapper,
+                   const AsymmetricLayout &layout);
+
+    /**
+     * Run @p trace for @p instructions instructions (gaps included),
+     * accumulating per-row reference counts. The trace is reset first
+     * and left exhausted/advanced afterwards; callers re-create or
+     * reset it for the measured run.
+     */
+    void profile(TraceSource &trace, InstCount instructions,
+                 Addr base_offset = 0);
+
+    /**
+     * Program @p table: per migration group, swap the top-k referenced
+     * rows into the fast slots (k = fast slots per group).
+     * @return number of rows placed in fast slots.
+     */
+    std::uint64_t assign(TranslationTable &table) const;
+
+    /** Reference count observed for a logical row (0 if untouched). */
+    std::uint64_t countOf(GlobalRowId row) const;
+
+    /** Distinct rows referenced during profiling. */
+    std::uint64_t touchedRows() const { return counts_.size(); }
+
+  private:
+    const AddressMapper *mapper_;
+    const AsymmetricLayout *layout_;
+    std::unordered_map<GlobalRowId, std::uint64_t> counts_;
+};
+
+} // namespace dasdram
+
+#endif // DASDRAM_CORE_STATIC_PROFILE_HH

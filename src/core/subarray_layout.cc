@@ -1,0 +1,33 @@
+#include "subarray_layout.hh"
+
+#include "common/log.hh"
+
+namespace dasdram
+{
+
+AsymmetricLayout::AsymmetricLayout(const DramGeometry &geom,
+                                   const LayoutConfig &cfg)
+    : geom_(geom), cfg_(cfg)
+{
+    if (cfg.groupSize == 0 || cfg.fastRatioDenom == 0)
+        fatal("invalid layout configuration");
+    if (cfg.groupSize % cfg.fastRatioDenom != 0) {
+        fatal("group size {} not divisible by fast ratio denominator {}",
+              cfg.groupSize, cfg.fastRatioDenom);
+    }
+    if (geom.rowsPerBank % cfg.groupSize != 0) {
+        fatal("rows per bank {} not divisible by group size {}",
+              geom.rowsPerBank, cfg.groupSize);
+    }
+    fastSlotsPerGroup_ = cfg.groupSize / cfg.fastRatioDenom;
+    groupsPerBank_ = geom.rowsPerBank / cfg.groupSize;
+}
+
+RowClass
+AsymmetricLayout::classify(unsigned, unsigned, unsigned,
+                           std::uint64_t row) const
+{
+    return slotIsFast(slotOf(row)) ? RowClass::Fast : RowClass::Slow;
+}
+
+} // namespace dasdram

@@ -1,0 +1,99 @@
+#include "translation_cache.hh"
+
+#include "common/bitutil.hh"
+#include "common/log.hh"
+
+namespace dasdram
+{
+
+TranslationCache::TranslationCache(std::uint64_t capacity_bytes,
+                                   unsigned assoc)
+    : capacity_(capacity_bytes), assoc_(assoc),
+      statGroup_("translationCache")
+{
+    if (assoc_ == 0 || capacity_ % assoc_ != 0)
+        fatal("translation cache capacity must be a multiple of assoc");
+    numSets_ = capacity_ / assoc_;
+    if (!isPowerOfTwo(numSets_))
+        fatal("translation cache set count must be a power of two");
+    entries_.resize(capacity_);
+
+    statGroup_.addCounter("hits", &hits_);
+    statGroup_.addCounter("misses", &misses_);
+    statGroup_.addFormula(
+        "hitRatio", [this] { return hitRatio(); },
+        "fraction of lookups hitting the tag cache");
+}
+
+std::uint64_t
+TranslationCache::setOf(GlobalRowId row) const
+{
+    // Mix the bits a little so bank-interleaved rows spread over sets.
+    std::uint64_t h = row * 0x9e3779b97f4a7c15ULL;
+    return (h >> 16) & (numSets_ - 1);
+}
+
+bool
+TranslationCache::lookup(GlobalRowId row)
+{
+    Entry *base = &entries_[setOf(row) * assoc_];
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (base[w].valid && base[w].row == row) {
+            base[w].stamp = ++stampCounter_;
+            hits_.inc();
+            return true;
+        }
+    }
+    misses_.inc();
+    return false;
+}
+
+bool
+TranslationCache::probe(GlobalRowId row) const
+{
+    const Entry *base = &entries_[setOf(row) * assoc_];
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (base[w].valid && base[w].row == row)
+            return true;
+    }
+    return false;
+}
+
+void
+TranslationCache::insert(GlobalRowId row)
+{
+    Entry *base = &entries_[setOf(row) * assoc_];
+    Entry *victim = nullptr;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (base[w].valid && base[w].row == row) {
+            base[w].stamp = ++stampCounter_;
+            return;
+        }
+        if (!victim && !base[w].valid)
+            victim = &base[w];
+    }
+    if (!victim) {
+        victim = base;
+        for (unsigned w = 1; w < assoc_; ++w) {
+            if (base[w].stamp < victim->stamp)
+                victim = &base[w];
+        }
+    }
+    victim->row = row;
+    victim->valid = true;
+    victim->stamp = ++stampCounter_;
+}
+
+void
+TranslationCache::invalidate(GlobalRowId row)
+{
+    Entry *base = &entries_[setOf(row) * assoc_];
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (base[w].valid && base[w].row == row) {
+            base[w].valid = false;
+            return;
+        }
+    }
+}
+
+} // namespace dasdram

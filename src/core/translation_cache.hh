@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The memory-controller translation cache ("tag cache", Section 5.2):
+ * a small set-associative cache over per-row translation entries.
+ *
+ * Per the paper, only entries for rows currently in the fast level are
+ * cached, which maximises hit ratio because fast-level accesses
+ * dominate; its lookup overlaps the LLC access, so hits add no
+ * latency. Each entry is one byte of payload; capacity is therefore
+ * counted in entries == bytes.
+ */
+
+#ifndef DASDRAM_CORE_TRANSLATION_CACHE_HH
+#define DASDRAM_CORE_TRANSLATION_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dram/geometry.hh"
+
+namespace dasdram
+{
+
+/**
+ * Set-associative cache keyed by logical GlobalRowId. Contents are
+ * presence-only: the authoritative mapping lives in TranslationTable;
+ * this models which lookups are free vs. must walk the LLC/memory.
+ */
+class TranslationCache
+{
+  public:
+    /**
+     * @param capacity_bytes total payload capacity (1 byte/entry).
+     * @param assoc         associativity.
+     */
+    TranslationCache(std::uint64_t capacity_bytes, unsigned assoc = 8);
+
+    /** Look up @p row, updating recency. @return true on hit. */
+    bool lookup(GlobalRowId row);
+
+    /** Insert (or refresh) an entry for @p row. */
+    void insert(GlobalRowId row);
+
+    /** Drop the entry for @p row if present (e.g. row left fast level). */
+    void invalidate(GlobalRowId row);
+
+    /** Hit check without recency update. */
+    bool probe(GlobalRowId row) const;
+
+    std::uint64_t capacityEntries() const { return capacity_; }
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+
+    double
+    hitRatio() const
+    {
+        std::uint64_t total = hits() + misses();
+        return total ? static_cast<double>(hits()) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+
+    StatGroup &stats() { return statGroup_; }
+
+  private:
+    struct Entry
+    {
+        GlobalRowId row = ~0ULL;
+        bool valid = false;
+        std::uint64_t stamp = 0;
+    };
+
+    std::uint64_t setOf(GlobalRowId row) const;
+
+    std::uint64_t capacity_;
+    unsigned assoc_;
+    std::uint64_t numSets_;
+    std::vector<Entry> entries_;
+    std::uint64_t stampCounter_ = 0;
+
+    StatGroup statGroup_;
+    Counter hits_, misses_;
+};
+
+} // namespace dasdram
+
+#endif // DASDRAM_CORE_TRANSLATION_CACHE_HH

@@ -1,0 +1,93 @@
+#include "translation_table.hh"
+
+#include <numeric>
+
+#include "common/log.hh"
+
+namespace dasdram
+{
+
+TranslationTable::TranslationTable(const AsymmetricLayout &layout)
+    : layout_(&layout), groupSize_(layout.groupSize())
+{
+    if (groupSize_ > 256)
+        fatal("migration groups above 256 rows need multi-byte entries");
+    reset();
+}
+
+void
+TranslationTable::reset()
+{
+    std::uint64_t total =
+        layout_->totalGroups() * static_cast<std::uint64_t>(groupSize_);
+    perm_.assign(total, 0);
+    inverse_.assign(total, 0);
+    for (std::uint64_t g = 0; g < layout_->totalGroups(); ++g) {
+        std::uint8_t *p = &perm_[g * groupSize_];
+        std::uint8_t *inv = &inverse_[g * groupSize_];
+        for (unsigned s = 0; s < groupSize_; ++s) {
+            p[s] = static_cast<std::uint8_t>(s);
+            inv[s] = static_cast<std::uint8_t>(s);
+        }
+    }
+    swaps_ = 0;
+}
+
+std::uint64_t
+TranslationTable::groupIndex(GlobalRowId row) const
+{
+    return row / groupSize_;
+}
+
+GlobalRowId
+TranslationTable::physicalOf(GlobalRowId logical) const
+{
+    std::uint64_t g = groupIndex(logical);
+    unsigned slot = static_cast<unsigned>(logical % groupSize_);
+    return g * groupSize_ + perm_[g * groupSize_ + slot];
+}
+
+GlobalRowId
+TranslationTable::logicalOf(GlobalRowId physical) const
+{
+    std::uint64_t g = groupIndex(physical);
+    unsigned slot = static_cast<unsigned>(physical % groupSize_);
+    return g * groupSize_ + inverse_[g * groupSize_ + slot];
+}
+
+bool
+TranslationTable::isFast(GlobalRowId logical) const
+{
+    std::uint64_t g = groupIndex(logical);
+    unsigned slot = static_cast<unsigned>(logical % groupSize_);
+    return layout_->slotIsFast(perm_[g * groupSize_ + slot]);
+}
+
+void
+TranslationTable::swap(GlobalRowId logical_a, GlobalRowId logical_b)
+{
+    std::uint64_t g = groupIndex(logical_a);
+    if (g != groupIndex(logical_b))
+        panic("translation swap across migration groups");
+    if (logical_a == logical_b)
+        return;
+    unsigned sa = static_cast<unsigned>(logical_a % groupSize_);
+    unsigned sb = static_cast<unsigned>(logical_b % groupSize_);
+    std::uint8_t *p = &perm_[g * groupSize_];
+    std::uint8_t *inv = &inverse_[g * groupSize_];
+    std::swap(p[sa], p[sb]);
+    inv[p[sa]] = static_cast<std::uint8_t>(sa);
+    inv[p[sb]] = static_cast<std::uint8_t>(sb);
+    ++swaps_;
+}
+
+GlobalRowId
+TranslationTable::logicalInFastSlot(std::uint64_t group,
+                                    unsigned fast_slot) const
+{
+    if (fast_slot >= layout_->fastSlotsPerGroup())
+        panic("fast slot index out of range");
+    return group * groupSize_ + inverse_[group * groupSize_ + fast_slot];
+}
+
+} // namespace dasdram

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Instruction-trace abstraction consumed by the core model.
+ *
+ * A trace is a stream of records (gap, address, is_write): @c gap
+ * non-memory instructions followed by one memory instruction. This is
+ * the standard front-end format of memory-system simulators
+ * (Ramulator/USIMM) and substitutes for Marss86 full-system execution.
+ */
+
+#ifndef DASDRAM_CPU_TRACE_HH
+#define DASDRAM_CPU_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dasdram
+{
+
+/** One trace record: @c gap non-memory instructions, then a memory op. */
+struct TraceEntry
+{
+    std::uint32_t gap = 0;
+    Addr addr = 0;
+    bool isWrite = false;
+};
+
+/** A (possibly infinite) stream of trace records. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next record. @return false when the trace is
+     * exhausted (synthetic generators never are).
+     */
+    virtual bool next(TraceEntry &out) = 0;
+
+    /** Restart from the beginning (used by the profiling pass). */
+    virtual void reset() = 0;
+};
+
+/** Fixed in-memory trace, mainly for tests. */
+class VectorTraceSource : public TraceSource
+{
+  public:
+    explicit VectorTraceSource(std::vector<TraceEntry> entries,
+                               bool loop = false)
+        : entries_(std::move(entries)), loop_(loop)
+    {}
+
+    bool
+    next(TraceEntry &out) override
+    {
+        if (pos_ >= entries_.size()) {
+            if (!loop_ || entries_.empty())
+                return false;
+            pos_ = 0;
+        }
+        out = entries_[pos_++];
+        return true;
+    }
+
+    void reset() override { pos_ = 0; }
+
+  private:
+    std::vector<TraceEntry> entries_;
+    bool loop_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace dasdram
+
+#endif // DASDRAM_CPU_TRACE_HH

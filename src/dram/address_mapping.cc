@@ -1,0 +1,94 @@
+#include "address_mapping.hh"
+
+#include "common/log.hh"
+
+namespace dasdram
+{
+
+AddressMapper::AddressMapper(const DramGeometry &geom, MappingScheme scheme)
+    : geom_(geom), scheme_(scheme)
+{
+    if (!geom.valid())
+        fatal("AddressMapper requires power-of-two DRAM geometry");
+    lineBits_ = log2Exact(geom.lineBytes);
+    colBits_ = log2Exact(geom.rowBytes / geom.lineBytes);
+    chBits_ = log2Exact(geom.channels);
+    raBits_ = log2Exact(geom.ranksPerChannel);
+    baBits_ = log2Exact(geom.banksPerRank);
+    roBits_ = log2Exact(geom.rowsPerBank);
+}
+
+DramLoc
+AddressMapper::decode(Addr addr) const
+{
+    DramLoc loc;
+    std::uint64_t a = addr >> lineBits_;
+    switch (scheme_) {
+      case MappingScheme::RoRaBaChCo:
+        loc.column = bits(a, 0, colBits_);
+        a >>= colBits_;
+        loc.channel = static_cast<unsigned>(bits(a, 0, chBits_));
+        a >>= chBits_;
+        loc.bank = static_cast<unsigned>(bits(a, 0, baBits_));
+        a >>= baBits_;
+        loc.rank = static_cast<unsigned>(bits(a, 0, raBits_));
+        a >>= raBits_;
+        loc.row = bits(a, 0, roBits_);
+        break;
+      case MappingScheme::RoBaRaChCo:
+        loc.column = bits(a, 0, colBits_);
+        a >>= colBits_;
+        loc.channel = static_cast<unsigned>(bits(a, 0, chBits_));
+        a >>= chBits_;
+        loc.rank = static_cast<unsigned>(bits(a, 0, raBits_));
+        a >>= raBits_;
+        loc.bank = static_cast<unsigned>(bits(a, 0, baBits_));
+        a >>= baBits_;
+        loc.row = bits(a, 0, roBits_);
+        break;
+      case MappingScheme::ChRaBaRoCo:
+        loc.column = bits(a, 0, colBits_);
+        a >>= colBits_;
+        loc.row = bits(a, 0, roBits_);
+        a >>= roBits_;
+        loc.bank = static_cast<unsigned>(bits(a, 0, baBits_));
+        a >>= baBits_;
+        loc.rank = static_cast<unsigned>(bits(a, 0, raBits_));
+        a >>= raBits_;
+        loc.channel = static_cast<unsigned>(bits(a, 0, chBits_));
+        break;
+    }
+    return loc;
+}
+
+Addr
+AddressMapper::encode(const DramLoc &loc) const
+{
+    std::uint64_t a = 0;
+    switch (scheme_) {
+      case MappingScheme::RoRaBaChCo:
+        a = loc.row;
+        a = (a << raBits_) | loc.rank;
+        a = (a << baBits_) | loc.bank;
+        a = (a << chBits_) | loc.channel;
+        a = (a << colBits_) | loc.column;
+        break;
+      case MappingScheme::RoBaRaChCo:
+        a = loc.row;
+        a = (a << baBits_) | loc.bank;
+        a = (a << raBits_) | loc.rank;
+        a = (a << chBits_) | loc.channel;
+        a = (a << colBits_) | loc.column;
+        break;
+      case MappingScheme::ChRaBaRoCo:
+        a = loc.channel;
+        a = (a << raBits_) | loc.rank;
+        a = (a << baBits_) | loc.bank;
+        a = (a << roBits_) | loc.row;
+        a = (a << colBits_) | loc.column;
+        break;
+    }
+    return a << lineBits_;
+}
+
+} // namespace dasdram

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Physical-address to DRAM-coordinate mapping.
+ */
+
+#ifndef DASDRAM_DRAM_ADDRESS_MAPPING_HH
+#define DASDRAM_DRAM_ADDRESS_MAPPING_HH
+
+#include "dram/geometry.hh"
+
+namespace dasdram
+{
+
+/** Interleaving order for the address mapper. */
+enum class MappingScheme
+{
+    /**
+     * Row : Rank : Bank : Channel : Column (MSB → LSB). Consecutive rows
+     * of the physical address space spread across channels, then banks,
+     * then ranks — the usual open-page-friendly layout.
+     */
+    RoRaBaChCo,
+    /** Row : Bank : Rank : Channel : Column. */
+    RoBaRaChCo,
+    /** Channel : Rank : Bank : Row : Column — no interleaving (tests). */
+    ChRaBaRoCo,
+};
+
+/**
+ * Decodes line-aligned physical addresses into DramLoc coordinates and
+ * re-encodes them. All geometry fields must be powers of two.
+ */
+class AddressMapper
+{
+  public:
+    AddressMapper(const DramGeometry &geom,
+                  MappingScheme scheme = MappingScheme::RoRaBaChCo);
+
+    /** Decode a byte address. */
+    DramLoc decode(Addr addr) const;
+
+    /** Re-encode coordinates into a (line-aligned) byte address. */
+    Addr encode(const DramLoc &loc) const;
+
+    const DramGeometry &geometry() const { return geom_; }
+    MappingScheme scheme() const { return scheme_; }
+
+  private:
+    DramGeometry geom_;
+    MappingScheme scheme_;
+    unsigned lineBits_;
+    unsigned colBits_;
+    unsigned chBits_;
+    unsigned raBits_;
+    unsigned baBits_;
+    unsigned roBits_;
+};
+
+} // namespace dasdram
+
+#endif // DASDRAM_DRAM_ADDRESS_MAPPING_HH

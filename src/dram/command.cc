@@ -1,0 +1,26 @@
+#include "command.hh"
+
+namespace dasdram
+{
+
+const char *
+toString(DramCommand cmd)
+{
+    switch (cmd) {
+      case DramCommand::ACT:
+        return "ACT";
+      case DramCommand::RD:
+        return "RD";
+      case DramCommand::WR:
+        return "WR";
+      case DramCommand::PRE:
+        return "PRE";
+      case DramCommand::REF:
+        return "REF";
+      case DramCommand::MIGRATE:
+        return "MIGRATE";
+    }
+    return "?";
+}
+
+} // namespace dasdram

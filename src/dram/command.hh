@@ -1,0 +1,28 @@
+/**
+ * @file
+ * DRAM command set.
+ */
+
+#ifndef DASDRAM_DRAM_COMMAND_HH
+#define DASDRAM_DRAM_COMMAND_HH
+
+namespace dasdram
+{
+
+/** Commands a memory controller can place on the command bus. */
+enum class DramCommand
+{
+    ACT,     ///< activate a row into the row buffer
+    RD,      ///< column read (with implicit burst)
+    WR,      ///< column write
+    PRE,     ///< precharge the bank
+    REF,     ///< all-bank refresh (per rank)
+    MIGRATE, ///< internal row migration / swap sequence (DAS-DRAM)
+};
+
+/** Short display name of a command. */
+const char *toString(DramCommand cmd);
+
+} // namespace dasdram
+
+#endif // DASDRAM_DRAM_COMMAND_HH

@@ -1,0 +1,479 @@
+#include "controller.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace dasdram
+{
+
+ChannelController::ChannelController(unsigned channel_id,
+                                     const DramGeometry &geom,
+                                     const DramTiming &timing,
+                                     const RowClassifier &classifier,
+                                     const ControllerConfig &cfg)
+    : channelId_(channel_id), geom_(geom), timing_(&timing),
+      classifier_(&classifier), cfg_(cfg),
+      statGroup_("channel" + std::to_string(channel_id))
+{
+    ranks_.reserve(geom.ranksPerChannel);
+    for (unsigned r = 0; r < geom.ranksPerChannel; ++r)
+        ranks_.emplace_back(timing, geom.banksPerRank);
+
+    readQueue_.reserve(cfg.readQueueDepth);
+    writeQueue_.reserve(cfg.writeQueueDepth);
+
+    statGroup_.addCounter("reads", &reads_, "read column commands");
+    statGroup_.addCounter("writes", &writes_, "write column commands");
+    statGroup_.addCounter("rowHits", &rowHits_,
+                          "column accesses that hit an open row");
+    statGroup_.addCounter("actsFast", &actsFast_,
+                          "activates in fast subarrays");
+    statGroup_.addCounter("actsSlow", &actsSlow_,
+                          "activates in slow subarrays");
+    statGroup_.addCounter("precharges", &precharges_, "precharge commands");
+    statGroup_.addCounter("refreshes", &refreshes_, "all-bank refreshes");
+    statGroup_.addCounter("migrations", &migrationsDone_,
+                          "completed migrations/swaps");
+    statGroup_.addCounter("readForwards", &readForwards_,
+                          "reads forwarded from the write queue");
+    statGroup_.addDistribution("readLatency", &readLatency_,
+                               "read latency, memory cycles");
+}
+
+Bank &
+ChannelController::bankOf(const MemRequest &r)
+{
+    return ranks_[r.loc.rank].bank(r.loc.bank);
+}
+
+const Bank &
+ChannelController::bankOf(const MemRequest &r) const
+{
+    return ranks_[r.loc.rank].bank(r.loc.bank);
+}
+
+bool
+ChannelController::canAccept(bool is_write) const
+{
+    return is_write ? writeQueue_.size() < cfg_.writeQueueDepth
+                    : readQueue_.size() < cfg_.readQueueDepth;
+}
+
+void
+ChannelController::enqueue(std::unique_ptr<MemRequest> req, Cycle now)
+{
+    if (!canAccept(req->isWrite))
+        panic("ChannelController::enqueue into a full queue");
+    if (req->loc.channel != channelId_)
+        panic("request routed to wrong channel");
+    req->arrivalTick = now;
+    if (req->isWrite)
+        writeQueue_.push_back(std::move(req));
+    else
+        readQueue_.push_back(std::move(req));
+}
+
+bool
+ChannelController::writeQueued(Addr line_addr) const
+{
+    for (const auto &w : writeQueue_) {
+        if (w->addr == line_addr)
+            return true;
+    }
+    return false;
+}
+
+void
+ChannelController::addMigration(MigrationJob job)
+{
+    migrations_.push_back(std::move(job));
+}
+
+void
+ChannelController::retireCompletions(Cycle now)
+{
+    while (!completions_.empty() && completions_.top().at <= now) {
+        Completion c = completions_.top();
+        completions_.pop();
+        auto it = std::find_if(inflight_.begin(), inflight_.end(),
+                               [&](const std::unique_ptr<MemRequest> &p) {
+                                   return p.get() == c.req;
+                               });
+        if (it == inflight_.end())
+            panic("completion for unknown in-flight request");
+        std::unique_ptr<MemRequest> req = std::move(*it);
+        *it = std::move(inflight_.back());
+        inflight_.pop_back();
+        finish(std::move(req), c.at, ServiceLocation::RowBuffer);
+    }
+
+    for (std::size_t i = 0; i < activeMigrations_.size();) {
+        if (activeMigrations_[i].first <= now) {
+            MigrationJob job = std::move(activeMigrations_[i].second);
+            Cycle at = activeMigrations_[i].first;
+            activeMigrations_[i] = std::move(activeMigrations_.back());
+            activeMigrations_.pop_back();
+            migrationsDone_.inc();
+            if (job.onDone)
+                job.onDone(at);
+        } else {
+            ++i;
+        }
+    }
+}
+
+void
+ChannelController::finish(std::unique_ptr<MemRequest> req, Cycle at,
+                          ServiceLocation fallback_loc)
+{
+    if (req->location == ServiceLocation::Unknown)
+        req->location = fallback_loc;
+    req->completionTick = at;
+    if (!req->isWrite)
+        readLatency_.sample(static_cast<double>(at - req->arrivalTick));
+    if (req->onComplete)
+        req->onComplete(*req, at);
+}
+
+bool
+ChannelController::serviceRefresh(Cycle now)
+{
+    for (unsigned ri = 0; ri < ranks_.size(); ++ri) {
+        Rank &rank = ranks_[ri];
+        if (!rank.refreshDue(now))
+            continue;
+        // Drain: precharge any open bank.
+        bool all_ready = true;
+        for (unsigned bi = 0; bi < rank.numBanks(); ++bi) {
+            Bank &bank = rank.bank(bi);
+            if (bank.hasOpenRow()) {
+                if (bank.canPrecharge(now)) {
+                    bank.precharge(now);
+                    precharges_.inc();
+                    return true;
+                }
+                all_ready = false;
+            } else if (bank.reserved(now) || now < bank.actAllowedAt()) {
+                all_ready = false;
+            }
+        }
+        if (all_ready) {
+            rank.refresh(now);
+            refreshes_.inc();
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+ChannelController::serviceMigrations(Cycle now)
+{
+    for (auto it = migrations_.begin(); it != migrations_.end(); ++it) {
+        MigrationJob &job = *it;
+        Rank &rank = ranks_[job.rank];
+        Bank &bank = rank.bank(job.bank);
+
+        // Keep per-bank FIFO order: skip if an earlier job or an active
+        // migration holds this bank.
+        bool earlier = false;
+        for (auto jt = migrations_.begin(); jt != it; ++jt) {
+            if (jt->rank == job.rank && jt->bank == job.bank) {
+                earlier = true;
+                break;
+            }
+        }
+        if (earlier || bank.reserved(now))
+            continue;
+        if (cfg_.refreshEnabled && rank.refreshDue(now))
+            continue; // let the refresh drain first
+
+        if (job.enqueuedAt == kCycleMax)
+            job.enqueuedAt = now;
+        std::uint64_t row_lo = std::min({job.rowLo, job.rowA, job.rowB});
+        std::uint64_t row_hi =
+            std::max({job.rowHi, job.rowA + 1, job.rowB + 1});
+
+        // Background work: yield to queued demand requests targeting
+        // the affected row range until the deferral budget runs out.
+        if (now < job.enqueuedAt + cfg_.migrationMaxDefer) {
+            auto targets_range = [&](const auto &queue) {
+                for (const auto &r : queue) {
+                    if (r->loc.rank == job.rank &&
+                        r->loc.bank == job.bank && r->loc.row >= row_lo &&
+                        r->loc.row < row_hi && r->loc.row != job.rowA &&
+                        r->loc.row != job.rowB) {
+                        return true;
+                    }
+                }
+                return false;
+            };
+            if (targets_range(readQueue_) || targets_range(writeQueue_))
+                continue;
+        }
+
+        if (bank.hasOpenRow() && bank.openRow() >= row_lo &&
+            bank.openRow() < row_hi && bank.openRow() != job.rowA &&
+            bank.openRow() != job.rowB) {
+            // The open row sits in the migration's subarrays: close it
+            // first (its row buffer is needed for the transfer).
+            if (bank.canPrecharge(now)) {
+                bank.precharge(now);
+                precharges_.inc();
+                return true;
+            }
+            continue;
+        }
+
+        Cycle dur =
+            job.fullSwap ? timing_->swapCycles : timing_->migrationCycles;
+        bank.reserve(now, dur, row_lo, row_hi, job.rowA, job.rowB);
+        activeMigrations_.emplace_back(now + dur, std::move(job));
+        migrations_.erase(it);
+        return true;
+    }
+    return false;
+}
+
+bool
+ChannelController::tryColumn(MemRequest &req, Cycle now)
+{
+    Rank &rank = ranks_[req.loc.rank];
+    Bank &bank = rank.bank(req.loc.bank);
+    if (!bank.canColumn(now))
+        return false;
+    if (cfg_.refreshEnabled && rank.refreshDue(now))
+        return false;
+    if (now < nextColAllowedAt_)
+        return false;
+
+    const ArrayTiming &at = timing_->array(bank.openRowClass());
+    Cycle burst_start;
+    if (req.isWrite) {
+        burst_start = now + timing_->tCWL;
+    } else {
+        if (now < rank.readAllowedAt())
+            return false;
+        burst_start = now + at.tCL;
+    }
+
+    Cycle bus_ready = dataBusFreeAt_;
+    bool switch_penalty =
+        (lastBusRank_ >= 0 &&
+         (static_cast<unsigned>(lastBusRank_) != req.loc.rank ||
+          lastBusWasWrite_ != req.isWrite));
+    if (switch_penalty)
+        bus_ready += timing_->tRTRS;
+    if (burst_start < bus_ready)
+        return false;
+
+    // Issue the column command.
+    nextColAllowedAt_ = now + timing_->tCCD;
+    lastBusRank_ = static_cast<int>(req.loc.rank);
+    lastBusWasWrite_ = req.isWrite;
+    if (req.location == ServiceLocation::Unknown) {
+        req.location = ServiceLocation::RowBuffer;
+        rowHits_.inc();
+    }
+    if (req.isWrite) {
+        Cycle end = bank.write(now);
+        rank.recordWriteBurst(end);
+        dataBusFreeAt_ = end;
+        req.completionTick = end;
+        writes_.inc();
+    } else {
+        Cycle end = bank.read(now);
+        dataBusFreeAt_ = end;
+        req.completionTick = end;
+        reads_.inc();
+    }
+    return true;
+}
+
+bool
+ChannelController::issueColumnFor(
+    std::vector<std::unique_ptr<MemRequest>> &queue, std::size_t i,
+    Cycle now)
+{
+    MemRequest &req = *queue[i];
+    const Bank &bank = bankOf(req);
+    if (!(bank.hasOpenRow() && bank.openRow() == req.loc.row &&
+          !bank.rowBlocked(now, req.loc.row) && tryColumn(req, now))) {
+        return false;
+    }
+    std::unique_ptr<MemRequest> owned = std::move(queue[i]);
+    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(i));
+    Cycle end = owned->completionTick;
+    if (owned->isWrite) {
+        finish(std::move(owned), end, ServiceLocation::RowBuffer);
+    } else {
+        completions_.push({end, owned.get()});
+        inflight_.push_back(std::move(owned));
+    }
+    return true;
+}
+
+bool
+ChannelController::tryRowCommand(MemRequest &req, Cycle now)
+{
+    Rank &rank = ranks_[req.loc.rank];
+    Bank &bank = rank.bank(req.loc.bank);
+    if (bank.rowBlocked(now, req.loc.row))
+        return false; // waits for the migration to finish
+
+    if (bank.hasOpenRow()) {
+        if (bank.openRow() == req.loc.row)
+            return false; // already open; waiting on column constraints
+        // Conflict: precharge, but not under pending hits to the open row.
+        auto hits_open_row = [&](const auto &queue) {
+            for (const auto &r : queue) {
+                if (r->loc.sameBank(req.loc) &&
+                    r->loc.row == bank.openRow()) {
+                    return true;
+                }
+            }
+            return false;
+        };
+        if (hits_open_row(readQueue_) || hits_open_row(writeQueue_))
+            return false;
+        if (!bank.canPrecharge(now))
+            return false;
+        bank.precharge(now);
+        precharges_.inc();
+        return true;
+    }
+
+    if (cfg_.refreshEnabled && rank.refreshDue(now))
+        return false;
+    if (!bank.canActivate(now, req.loc.row) || !rank.canActivate(now))
+        return false;
+
+    RowClass cls = classifier_->classify(channelId_, req.loc.rank,
+                                         req.loc.bank, req.loc.row);
+    bank.activate(now, req.loc.row, cls);
+    rank.recordActivate(now);
+    if (cls == RowClass::Fast) {
+        actsFast_.inc();
+        req.location = ServiceLocation::FastLevel;
+        req.servicedFast = true;
+    } else {
+        actsSlow_.inc();
+        req.location = ServiceLocation::SlowLevel;
+    }
+    return true;
+}
+
+bool
+ChannelController::issueFromQueue(
+    std::vector<std::unique_ptr<MemRequest>> &queue, Cycle now)
+{
+    if (queue.empty())
+        return false;
+
+    if (cfg_.sched == SchedPolicy::FrFcfs) {
+        // Pass 1: oldest ready row hit.
+        for (std::size_t i = 0; i < queue.size(); ++i) {
+            if (issueColumnFor(queue, i, now))
+                return true;
+        }
+        // Pass 2: oldest request that can make row-level progress.
+        for (auto &reqp : queue) {
+            if (tryRowCommand(*reqp, now))
+                return true;
+        }
+        return false;
+    }
+
+    // Strict FCFS: only the oldest request may issue anything.
+    if (issueColumnFor(queue, 0, now))
+        return true;
+    return tryRowCommand(*queue.front(), now);
+}
+
+void
+ChannelController::tick(Cycle now)
+{
+    retireCompletions(now);
+
+    bool issued = false;
+    if (cfg_.refreshEnabled)
+        issued = serviceRefresh(now);
+    if (!issued)
+        issued = serviceMigrations(now);
+
+    // Write-drain hysteresis.
+    if (!drainingWrites_) {
+        if (writeQueue_.size() >= cfg_.writeHighWatermark ||
+            (readQueue_.empty() && !writeQueue_.empty())) {
+            drainingWrites_ = true;
+        }
+    } else if (writeQueue_.empty() ||
+               (writeQueue_.size() <= cfg_.writeLowWatermark &&
+                !readQueue_.empty())) {
+        drainingWrites_ = false;
+    }
+
+    if (!issued) {
+        auto &primary = drainingWrites_ ? writeQueue_ : readQueue_;
+        auto &secondary = drainingWrites_ ? readQueue_ : writeQueue_;
+        issued = issueFromQueue(primary, now);
+        if (!issued)
+            issueFromQueue(secondary, now);
+    }
+
+    // Closed-page: precharge banks with no pending work for their row.
+    if (cfg_.page == PagePolicy::Closed) {
+        for (unsigned ri = 0; ri < ranks_.size(); ++ri) {
+            Rank &rank = ranks_[ri];
+            for (unsigned bi = 0; bi < rank.numBanks(); ++bi) {
+                Bank &bank = rank.bank(bi);
+                if (!bank.hasOpenRow() || !bank.canPrecharge(now))
+                    continue;
+                auto targets_open = [&](const auto &queue) {
+                    for (const auto &r : queue) {
+                        if (r->loc.rank == ri && r->loc.bank == bi &&
+                            r->loc.row == bank.openRow()) {
+                            return true;
+                        }
+                    }
+                    return false;
+                };
+                if (!targets_open(readQueue_) &&
+                    !targets_open(writeQueue_)) {
+                    bank.precharge(now);
+                    precharges_.inc();
+                }
+            }
+        }
+    }
+}
+
+Cycle
+ChannelController::nextWakeCycle(Cycle now) const
+{
+    Cycle next = kCycleMax;
+    if (!completions_.empty())
+        next = std::min(next, completions_.top().at);
+    for (const auto &m : activeMigrations_)
+        next = std::min(next, m.first);
+    if (!readQueue_.empty() || !writeQueue_.empty() ||
+        !migrations_.empty()) {
+        next = std::min(next, now + 1);
+    }
+    if (cfg_.refreshEnabled) {
+        for (const Rank &r : ranks_)
+            next = std::min(next, r.nextRefreshAt());
+    }
+    return next;
+}
+
+bool
+ChannelController::busy() const
+{
+    return !readQueue_.empty() || !writeQueue_.empty() ||
+           !inflight_.empty() || !migrations_.empty() ||
+           !activeMigrations_.empty();
+}
+
+} // namespace dasdram

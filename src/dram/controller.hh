@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Per-channel DRAM memory controller: FR-FCFS scheduling, open-page row
+ * policy, separate read/write queues with drain watermarks, refresh
+ * management, and bank reservation for DAS-DRAM migrations/swaps.
+ *
+ * Time unit throughout is memory-bus cycles (tCK = 1.25 ns).
+ */
+
+#ifndef DASDRAM_DRAM_CONTROLLER_HH
+#define DASDRAM_DRAM_CONTROLLER_HH
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dram/bank.hh"
+#include "dram/geometry.hh"
+#include "dram/rank.hh"
+#include "dram/row_class.hh"
+#include "dram/timing.hh"
+#include "mem/request.hh"
+
+namespace dasdram
+{
+
+/** Request scheduling policy. */
+enum class SchedPolicy
+{
+    FrFcfs, ///< first-ready, first-come-first-served (Table 1)
+    Fcfs,   ///< strict arrival order (baseline for tests/ablations)
+};
+
+/** Row-buffer management policy. */
+enum class PagePolicy
+{
+    Open,   ///< leave rows open (Table 1)
+    Closed, ///< precharge after every column access
+};
+
+/** Controller tunables. */
+struct ControllerConfig
+{
+    unsigned readQueueDepth = 32; ///< Table 1: 32-entry request queue
+    unsigned writeQueueDepth = 32;
+    unsigned writeHighWatermark = 24;
+    unsigned writeLowWatermark = 8;
+    SchedPolicy sched = SchedPolicy::FrFcfs;
+    PagePolicy page = PagePolicy::Open;
+    bool refreshEnabled = true;
+
+    /**
+     * Migrations are background work: they wait for the target bank to
+     * have no queued demand requests, but at most this many cycles
+     * (then they force their way in to avoid starvation).
+     */
+    Cycle migrationMaxDefer = 1600; // 2 us at 800 MHz
+};
+
+/** An internal row migration or swap to run in one bank. */
+struct MigrationJob
+{
+    unsigned rank = 0;
+    unsigned bank = 0;
+    std::uint64_t rowA = 0; ///< e.g. promotee (slow) row
+    std::uint64_t rowB = 0; ///< e.g. victim (fast) row
+    bool fullSwap = true;   ///< swap (3 tRC) vs single migration (1.5 tRC)
+    /** Row range blocked while the swap runs (the two subarrays /
+     *  migration group). Defaults to just the two rows. */
+    std::uint64_t rowLo = 0;
+    std::uint64_t rowHi = 0;
+    Cycle enqueuedAt = kCycleMax; ///< stamped by the controller
+    /** Called at completion with the finish cycle. */
+    std::function<void(Cycle)> onDone;
+};
+
+/**
+ * One DDR3 channel: command/data bus, ranks, queues and scheduler.
+ */
+class ChannelController
+{
+  public:
+    ChannelController(unsigned channel_id, const DramGeometry &geom,
+                      const DramTiming &timing,
+                      const RowClassifier &classifier,
+                      const ControllerConfig &cfg);
+
+    /// @name Request interface
+    /// @{
+
+    /** True iff a request of this kind can be accepted now. */
+    bool canAccept(bool is_write) const;
+
+    /**
+     * Hand a request to the controller. @pre canAccept(req->isWrite).
+     * The controller takes ownership; onComplete fires when the data
+     * burst finishes (reads) or the WR command issues (writes), then
+     * the request is destroyed.
+     */
+    void enqueue(std::unique_ptr<MemRequest> req, Cycle now);
+
+    /**
+     * True iff a write to @p line_addr is queued (read forwarding).
+     */
+    bool writeQueued(Addr line_addr) const;
+    /// @}
+
+    /** Queue a migration/swap job. Jobs run FIFO per bank. */
+    void addMigration(MigrationJob job);
+
+    /** Number of migration jobs not yet completed. */
+    std::size_t pendingMigrations() const { return migrations_.size(); }
+
+    /** Advance to cycle @p now: retire completions, issue ≤1 command. */
+    void tick(Cycle now);
+
+    /**
+     * Earliest cycle at which tick() could do useful work, for
+     * fast-forwarding an idle system. Returns kCycleMax when fully idle
+     * with refresh disabled.
+     */
+    Cycle nextWakeCycle(Cycle now) const;
+
+    /** Outstanding work (queues, in-flight, migrations)? */
+    bool busy() const;
+
+    /// @name Introspection & statistics
+    /// @{
+    Rank &rank(unsigned i) { return ranks_[i]; }
+    const Rank &rank(unsigned i) const { return ranks_[i]; }
+
+    StatGroup &stats() { return statGroup_; }
+
+    std::uint64_t actCountFast() const { return actsFast_.value(); }
+    std::uint64_t actCountSlow() const { return actsSlow_.value(); }
+    std::uint64_t rowHits() const { return rowHits_.value(); }
+    std::uint64_t readCount() const { return reads_.value(); }
+    std::uint64_t writeCount() const { return writes_.value(); }
+    std::uint64_t migrationCount() const { return migrationsDone_.value(); }
+    /// @}
+
+  private:
+    struct Completion
+    {
+        Cycle at;
+        MemRequest *req;
+        bool operator>(const Completion &o) const { return at > o.at; }
+    };
+
+    Bank &bankOf(const MemRequest &r);
+    const Bank &bankOf(const MemRequest &r) const;
+
+    /** Run completion callbacks due at or before @p now. */
+    void retireCompletions(Cycle now);
+
+    /** Returns true if a command was issued (consumes the cmd bus). */
+    bool serviceRefresh(Cycle now);
+    bool serviceMigrations(Cycle now);
+    bool issueFromQueue(std::vector<std::unique_ptr<MemRequest>> &queue,
+                        Cycle now);
+
+    /**
+     * If queue[i] is a ready row hit, issue its column command, retire
+     * or track it, and return true.
+     */
+    bool issueColumnFor(std::vector<std::unique_ptr<MemRequest>> &queue,
+                        std::size_t i, Cycle now);
+
+    /** Try to issue the column command for @p req. */
+    bool tryColumn(MemRequest &req, Cycle now);
+    /** Try to issue ACT or PRE on behalf of @p req. */
+    bool tryRowCommand(MemRequest &req, Cycle now);
+
+    /** Fire callback and destroy @p req (ownership in @p owner). */
+    void finish(std::unique_ptr<MemRequest> req, Cycle at,
+                ServiceLocation fallback_loc);
+
+    unsigned channelId_;
+    DramGeometry geom_;
+    const DramTiming *timing_;
+    const RowClassifier *classifier_;
+    ControllerConfig cfg_;
+
+    std::vector<Rank> ranks_;
+
+    std::vector<std::unique_ptr<MemRequest>> readQueue_;
+    std::vector<std::unique_ptr<MemRequest>> writeQueue_;
+    bool drainingWrites_ = false;
+
+    /** In-flight reads awaiting data completion. */
+    std::priority_queue<Completion, std::vector<Completion>,
+                        std::greater<Completion>> completions_;
+    std::vector<std::unique_ptr<MemRequest>> inflight_;
+
+    std::deque<MigrationJob> migrations_;
+    /** Migration completion events: (cycle, index into migrations_). */
+    std::vector<std::pair<Cycle, MigrationJob>> activeMigrations_;
+
+    /** Channel data-bus bookkeeping. */
+    Cycle dataBusFreeAt_ = 0;
+    Cycle nextColAllowedAt_ = 0;
+    int lastBusRank_ = -1;
+    bool lastBusWasWrite_ = false;
+
+    /// @name Statistics
+    /// @{
+    StatGroup statGroup_;
+    Counter reads_, writes_, rowHits_, actsFast_, actsSlow_, precharges_;
+    Counter refreshes_, migrationsDone_, readForwards_;
+    Distribution readLatency_; ///< enqueue → data, in memory cycles
+    /// @}
+};
+
+} // namespace dasdram
+
+#endif // DASDRAM_DRAM_CONTROLLER_HH

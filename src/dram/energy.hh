@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A coarse DRAM energy model supporting the paper's Section 7.7 power
+ * discussion: fast-subarray activations cost less than slow ones
+ * (shorter bitlines move less charge), and migrations add a small
+ * per-swap energy. Values are representative DDR3 figures, not vendor
+ * data; only relative comparisons are meaningful.
+ */
+
+#ifndef DASDRAM_DRAM_ENERGY_HH
+#define DASDRAM_DRAM_ENERGY_HH
+
+#include <cstdint>
+
+namespace dasdram
+{
+
+/** Per-operation energies in nanojoules. */
+struct EnergyParams
+{
+    double actPreSlowNj = 18.0; ///< ACT+restore+PRE, 512-cell bitline
+    double actPreFastNj = 6.5;  ///< ACT+restore+PRE, 128-cell bitline
+    double readNj = 10.0;       ///< column read incl. I/O burst
+    double writeNj = 10.5;      ///< column write incl. I/O burst
+    double refreshNj = 48.0;    ///< one all-bank refresh of one rank
+    double swapNj = 52.0;       ///< one row swap (4 internal row ops,
+                                ///< no I/O: data never leaves the chip)
+};
+
+/** Operation counts gathered from the controllers. */
+struct EnergyBreakdown
+{
+    std::uint64_t actsSlow = 0;
+    std::uint64_t actsFast = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t refreshes = 0;
+    std::uint64_t swaps = 0;
+
+    /** Total dynamic energy in nanojoules under @p p. */
+    double
+    totalNj(const EnergyParams &p) const
+    {
+        return static_cast<double>(actsSlow) * p.actPreSlowNj +
+               static_cast<double>(actsFast) * p.actPreFastNj +
+               static_cast<double>(reads) * p.readNj +
+               static_cast<double>(writes) * p.writeNj +
+               static_cast<double>(refreshes) * p.refreshNj +
+               static_cast<double>(swaps) * p.swapNj;
+    }
+
+    /** Energy per data access (read+write) in nanojoules. */
+    double
+    perAccessNj(const EnergyParams &p) const
+    {
+        std::uint64_t accesses = reads + writes;
+        return accesses ? totalNj(p) / static_cast<double>(accesses) : 0.0;
+    }
+};
+
+} // namespace dasdram
+
+#endif // DASDRAM_DRAM_ENERGY_HH

@@ -1,0 +1,40 @@
+#include "geometry.hh"
+
+namespace dasdram
+{
+
+bool
+DramGeometry::valid() const
+{
+    return isPowerOfTwo(channels) && isPowerOfTwo(ranksPerChannel) &&
+           isPowerOfTwo(banksPerRank) && isPowerOfTwo(rowsPerBank) &&
+           isPowerOfTwo(rowBytes) && isPowerOfTwo(lineBytes) &&
+           lineBytes <= rowBytes;
+}
+
+GlobalRowId
+makeGlobalRowId(const DramGeometry &g, unsigned channel, unsigned rank,
+                unsigned bank, std::uint64_t row)
+{
+    GlobalRowId id = channel;
+    id = id * g.ranksPerChannel + rank;
+    id = id * g.banksPerRank + bank;
+    id = id * g.rowsPerBank + row;
+    return id;
+}
+
+DramLoc
+decodeGlobalRowId(const DramGeometry &g, GlobalRowId id)
+{
+    DramLoc loc;
+    loc.row = id % g.rowsPerBank;
+    id /= g.rowsPerBank;
+    loc.bank = static_cast<unsigned>(id % g.banksPerRank);
+    id /= g.banksPerRank;
+    loc.rank = static_cast<unsigned>(id % g.ranksPerChannel);
+    id /= g.ranksPerChannel;
+    loc.channel = static_cast<unsigned>(id);
+    return loc;
+}
+
+} // namespace dasdram

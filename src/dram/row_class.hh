@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Row class (fast vs. slow subarray) and the classifier interface the
+ * DRAM timing model uses to pick per-row parameters.
+ */
+
+#ifndef DASDRAM_DRAM_ROW_CLASS_HH
+#define DASDRAM_DRAM_ROW_CLASS_HH
+
+#include <cstdint>
+
+#include "dram/geometry.hh"
+
+namespace dasdram
+{
+
+/** Which kind of subarray a physical row lives in. */
+enum class RowClass : std::uint8_t
+{
+    Slow, ///< commodity 512-cell bitline subarray
+    Fast, ///< short 128-cell bitline subarray
+};
+
+/**
+ * Maps a physical row to its subarray class. Implemented by the
+ * asymmetric subarray layout in src/core; the homogeneous layouts
+ * (standard and FS-DRAM) are provided here.
+ */
+class RowClassifier
+{
+  public:
+    virtual ~RowClassifier() = default;
+
+    /** Class of bank-local @p row in (@p channel, @p rank, @p bank). */
+    virtual RowClass classify(unsigned channel, unsigned rank,
+                              unsigned bank, std::uint64_t row) const = 0;
+
+    RowClass
+    classify(const DramLoc &loc) const
+    {
+        return classify(loc.channel, loc.rank, loc.bank, loc.row);
+    }
+};
+
+/** Every row is the same class — standard DRAM (Slow) or FS-DRAM (Fast). */
+class UniformRowClassifier : public RowClassifier
+{
+  public:
+    explicit UniformRowClassifier(RowClass cls) : cls_(cls) {}
+
+    RowClass
+    classify(unsigned, unsigned, unsigned, std::uint64_t) const override
+    {
+        return cls_;
+    }
+
+  private:
+    RowClass cls_;
+};
+
+} // namespace dasdram
+
+#endif // DASDRAM_DRAM_ROW_CLASS_HH

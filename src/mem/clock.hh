@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Clock-domain definitions.
+ *
+ * All simulator time is kept in "ticks" of 1/12 ns so that both the CPU
+ * clock (3 GHz, Table 1) and the DDR3-1600 command clock (800 MHz) have
+ * integral periods: 4 ticks per CPU cycle, 15 ticks per memory cycle.
+ */
+
+#ifndef DASDRAM_MEM_CLOCK_HH
+#define DASDRAM_MEM_CLOCK_HH
+
+#include <cstdint>
+
+#include "common/bitutil.hh"
+#include "common/types.hh"
+
+namespace dasdram
+{
+
+/** Simulation ticks per nanosecond (12 GHz tick clock). */
+constexpr std::uint64_t kTicksPerNs = 12;
+
+/** Ticks per 3 GHz CPU cycle. */
+constexpr Cycle kCpuTick = 4;
+
+/** Ticks per 800 MHz DDR3-1600 command-bus cycle (tCK = 1.25 ns). */
+constexpr Cycle kMemTick = 15;
+
+/** Convert nanoseconds to ticks, rounding up to whole memory cycles. */
+constexpr Cycle
+nsToMemCycles(double ns)
+{
+    // tCK = 1.25 ns; standard DRAM practice rounds parameters up.
+    double cycles = ns / 1.25;
+    auto whole = static_cast<Cycle>(cycles);
+    return (static_cast<double>(whole) < cycles) ? whole + 1 : whole;
+}
+
+/** Convert nanoseconds to ticks (rounded up to a tick). */
+constexpr Cycle
+nsToTicks(double ns)
+{
+    double t = ns * static_cast<double>(kTicksPerNs);
+    auto whole = static_cast<Cycle>(t);
+    return (static_cast<double>(whole) < t) ? whole + 1 : whole;
+}
+
+/** Convert CPU cycles to ticks. */
+constexpr Cycle
+cpuCyclesToTicks(Cycle cycles)
+{
+    return cycles * kCpuTick;
+}
+
+/** Convert memory-bus cycles to ticks. */
+constexpr Cycle
+memCyclesToTicks(Cycle cycles)
+{
+    return cycles * kMemTick;
+}
+
+} // namespace dasdram
+
+#endif // DASDRAM_MEM_CLOCK_HH

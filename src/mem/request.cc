@@ -1,0 +1,22 @@
+#include "request.hh"
+
+namespace dasdram
+{
+
+const char *
+toString(ServiceLocation loc)
+{
+    switch (loc) {
+      case ServiceLocation::Unknown:
+        return "unknown";
+      case ServiceLocation::RowBuffer:
+        return "row-buffer";
+      case ServiceLocation::FastLevel:
+        return "fast-level";
+      case ServiceLocation::SlowLevel:
+        return "slow-level";
+    }
+    return "invalid";
+}
+
+} // namespace dasdram

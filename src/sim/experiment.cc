@@ -1,0 +1,126 @@
+#include "experiment.hh"
+
+#include <cmath>
+#include <memory>
+
+#include "common/log.hh"
+#include "core/static_profile.hh"
+#include "dram/address_mapping.hh"
+
+namespace dasdram
+{
+
+WorkloadSpec
+WorkloadSpec::single(const std::string &bench)
+{
+    return WorkloadSpec{bench, {bench}};
+}
+
+WorkloadSpec
+WorkloadSpec::mix(std::size_t i)
+{
+    const auto &mixes = specMixes();
+    if (i >= mixes.size())
+        fatal("mix index {} out of range", i);
+    return WorkloadSpec{mixName(i), mixes[i]};
+}
+
+ExperimentRunner::ExperimentRunner(SimConfig base) : base_(std::move(base))
+{
+}
+
+RunMetrics
+ExperimentRunner::runRaw(const WorkloadSpec &workload,
+                         const SimConfig &cfg_in)
+{
+    SimConfig cfg = cfg_in;
+    cfg.numCores = static_cast<unsigned>(workload.benchmarks.size());
+
+    // Deterministic per-(workload, core) traces.
+    std::vector<std::unique_ptr<SyntheticTrace>> traces;
+    std::vector<TraceSource *> trace_ptrs;
+    for (unsigned i = 0; i < cfg.numCores; ++i) {
+        const BenchmarkProfile &prof =
+            specProfile(workload.benchmarks[i]);
+        std::uint64_t seed = cfg.seed * 1000003 + i * 7919 + 1;
+        traces.push_back(std::make_unique<SyntheticTrace>(
+            prof, seed, cfg.geom.rowBytes, cfg.geom.lineBytes));
+        trace_ptrs.push_back(traces.back().get());
+    }
+
+    System sys(cfg, trace_ptrs);
+
+    const DesignSpec &spec = designSpec(cfg.design);
+    if (spec.needsProfiling) {
+        // Profiling pass over the same instruction window (Section 7:
+        // workloads are profiled first for the static baselines).
+        AddressMapper mapper(cfg.geom);
+        StaticProfiler profiler(mapper, sys.layout());
+        auto profile_window = static_cast<InstCount>(
+            cfg.profileWindowMultiplier *
+            static_cast<double>(cfg.instructionsPerCore));
+        for (unsigned i = 0; i < cfg.numCores; ++i) {
+            profiler.profile(*trace_ptrs[i], profile_window,
+                             cfg.coreBase(i));
+            trace_ptrs[i]->reset();
+        }
+        profiler.assign(sys.manager().table());
+    }
+
+    return sys.run();
+}
+
+const RunMetrics &
+ExperimentRunner::baseline(const WorkloadSpec &workload)
+{
+    auto it = baselines_.find(workload.name);
+    if (it != baselines_.end())
+        return it->second;
+    SimConfig cfg = base_;
+    cfg.design = DesignKind::Standard;
+    RunMetrics m = runRaw(workload, cfg);
+    return baselines_.emplace(workload.name, std::move(m)).first->second;
+}
+
+ExperimentResult
+ExperimentRunner::run(const WorkloadSpec &workload, DesignKind design)
+{
+    const RunMetrics &base = baseline(workload);
+
+    ExperimentResult res;
+    res.workload = workload.name;
+    res.design = design;
+    if (design == DesignKind::Standard) {
+        res.metrics = base;
+    } else {
+        SimConfig cfg = base_;
+        cfg.design = design;
+        res.metrics = runRaw(workload, cfg);
+    }
+
+    double sum = 0.0;
+    for (std::size_t i = 0; i < res.metrics.ipc.size(); ++i) {
+        double b = base.ipc[i];
+        sum += b > 0.0 ? res.metrics.ipc[i] / b : 1.0;
+    }
+    res.perfImprovement =
+        res.metrics.ipc.empty()
+            ? 0.0
+            : sum / static_cast<double>(res.metrics.ipc.size()) - 1.0;
+    res.energyPerAccessNj = res.metrics.energy.perAccessNj(energyParams_);
+    return res;
+}
+
+double
+ExperimentRunner::gmeanImprovement(const std::vector<double> &improvements)
+{
+    if (improvements.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : improvements)
+        log_sum += std::log(std::max(1e-9, 1.0 + x));
+    return std::exp(log_sum / static_cast<double>(improvements.size())) -
+           1.0;
+}
+
+} // namespace dasdram

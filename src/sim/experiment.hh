@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Experiment driver: builds workloads (single benchmarks or Table 2
+ * mixes), runs them on a DRAM design — including the profiling pass the
+ * static baselines need — and reports paper-style metrics relative to
+ * the standard-DRAM baseline.
+ */
+
+#ifndef DASDRAM_SIM_EXPERIMENT_HH
+#define DASDRAM_SIM_EXPERIMENT_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+#include "workload/spec_profiles.hh"
+#include "workload/synth_trace.hh"
+
+namespace dasdram
+{
+
+/** A workload: one benchmark per core. */
+struct WorkloadSpec
+{
+    std::string name;                    ///< display ("mcf", "M3", ...)
+    std::vector<std::string> benchmarks; ///< per-core SPEC profile names
+
+    /** Single-program workload on one core. */
+    static WorkloadSpec single(const std::string &bench);
+
+    /** Multi-programming mix Mi (0-based index into Table 2). */
+    static WorkloadSpec mix(std::size_t i);
+};
+
+/** One (workload, design) data point. */
+struct ExperimentResult
+{
+    std::string workload;
+    DesignKind design = DesignKind::Standard;
+    RunMetrics metrics;
+
+    /**
+     * Weighted-speedup improvement over standard DRAM:
+     * mean_i(IPC_i/IPC_i^std) - 1. For one core this is the plain IPC
+     * improvement of Figures 7a/8a/9.
+     */
+    double perfImprovement = 0.0;
+
+    /** DRAM dynamic energy per access in nJ (Section 7.7). */
+    double energyPerAccessNj = 0.0;
+};
+
+/**
+ * Runs experiments against a fixed base configuration, caching the
+ * standard-DRAM baseline per workload so sweeps share it.
+ */
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(SimConfig base);
+
+    /**
+     * Run @p workload on @p design using the base configuration with
+     * the design applied. Runs (and caches) the standard baseline for
+     * the workload first if needed.
+     */
+    ExperimentResult run(const WorkloadSpec &workload, DesignKind design);
+
+    /** Same, with explicit configuration (design field is honoured). */
+    RunMetrics runRaw(const WorkloadSpec &workload, const SimConfig &cfg);
+
+    /** The base configuration (mutable for sweeps between runs). */
+    SimConfig &baseConfig() { return base_; }
+
+    /** Forget cached baselines (call after mutating the base config). */
+    void invalidateBaselines() { baselines_.clear(); }
+
+    /** Geometric mean of (1 + improvement) minus 1 over results. */
+    static double gmeanImprovement(const std::vector<double> &improvements);
+
+  private:
+    const RunMetrics &baseline(const WorkloadSpec &workload);
+
+    SimConfig base_;
+    std::map<std::string, RunMetrics> baselines_;
+    EnergyParams energyParams_{};
+};
+
+} // namespace dasdram
+
+#endif // DASDRAM_SIM_EXPERIMENT_HH

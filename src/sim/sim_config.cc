@@ -1,0 +1,29 @@
+#include "sim_config.hh"
+
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace dasdram
+{
+
+double
+applySimScale(SimConfig &cfg)
+{
+    const char *env = std::getenv("DAS_SIM_SCALE");
+    if (!env)
+        return 1.0;
+    char *end = nullptr;
+    double factor = std::strtod(env, &end);
+    if (end == env || factor <= 0.0) {
+        warn("ignoring invalid DAS_SIM_SCALE='{}'", env);
+        return 1.0;
+    }
+    cfg.instructionsPerCore = static_cast<InstCount>(
+        static_cast<double>(cfg.instructionsPerCore) * factor);
+    if (cfg.instructionsPerCore < 100'000)
+        cfg.instructionsPerCore = 100'000;
+    return factor;
+}
+
+} // namespace dasdram

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Top-level simulation configuration, defaulting to the paper's
+ * Table 1 system: 3 GHz 4-wide cores with 192-entry ROBs; 64 KB L1 /
+ * 256 KB L2 private, 4 MB shared LLC; FR-FCFS open-page controllers
+ * with 32-entry queues; two 4 GB DDR3-1600 DIMMs over 2 channels ×
+ * 2 ranks; DAS layout 1/8 fast with 32-row migration groups and a
+ * 128 KB translation cache.
+ */
+
+#ifndef DASDRAM_SIM_SIM_CONFIG_HH
+#define DASDRAM_SIM_SIM_CONFIG_HH
+
+#include "cache/hierarchy.hh"
+#include "core/das_manager.hh"
+#include "core/designs.hh"
+#include "core/subarray_layout.hh"
+#include "cpu/core.hh"
+#include "dram/controller.hh"
+#include "dram/geometry.hh"
+
+namespace dasdram
+{
+
+/** Everything needed to build one System. */
+struct SimConfig
+{
+    unsigned numCores = 1;
+    CoreConfig core{};
+    HierarchyConfig caches{};
+    DramGeometry geom{};
+    ControllerConfig ctrl{};
+    LayoutConfig layout{};
+    DasConfig das{};
+    DesignKind design = DesignKind::Das;
+
+    /** Per-core instruction target (warm-up included). */
+    InstCount instructionsPerCore = 10'000'000;
+
+    /** Leading fraction of instructions excluded from statistics. */
+    double warmupFraction = 0.2;
+
+    /**
+     * Profiling window of the static baselines as a multiple of the
+     * measured run: lifetime profiling spans more program phases than
+     * any one measured episode (Section 7.1's static-vs-dynamic gap).
+     */
+    double profileWindowMultiplier = 8.0;
+
+    /** Base of core @p i's address region. */
+    Addr coreStride = 1 * GiB;
+
+    /** Deterministic seed for workload generation etc. */
+    std::uint64_t seed = 42;
+
+    /** MSHR entries (outstanding line fills) per core. */
+    unsigned mshrsPerCore = 32;
+
+    Addr
+    coreBase(unsigned core_id) const
+    {
+        return static_cast<Addr>(core_id) * coreStride;
+    }
+
+    InstCount
+    warmupInstructions() const
+    {
+        return static_cast<InstCount>(
+            warmupFraction * static_cast<double>(instructionsPerCore));
+    }
+};
+
+/**
+ * Apply the environment scale factor DAS_SIM_SCALE (a positive double)
+ * to @p cfg's instruction target; used by tests and benches to trade
+ * fidelity for speed. Returns the factor applied.
+ */
+double applySimScale(SimConfig &cfg);
+
+} // namespace dasdram
+
+#endif // DASDRAM_SIM_SIM_CONFIG_HH

@@ -1,0 +1,195 @@
+#include "system.hh"
+
+#include <ostream>
+
+#include "common/log.hh"
+
+namespace dasdram
+{
+
+System::System(const SimConfig &cfg, std::vector<TraceSource *> traces)
+    : cfg_(cfg), traces_(std::move(traces)), statGroup_("system")
+{
+    if (traces_.size() != cfg_.numCores)
+        fatal("system needs one trace per core ({} vs {})",
+              traces_.size(), cfg_.numCores);
+
+    const DesignSpec &spec = designSpec(cfg_.design);
+    timing_ = ddr3_1600Timing(spec.charmColumnOpt);
+    layout_ = std::make_unique<AsymmetricLayout>(cfg_.geom, cfg_.layout);
+
+    if (spec.allFast)
+        classifier_ =
+            std::make_unique<UniformRowClassifier>(RowClass::Fast);
+    else if (!spec.heterogeneous)
+        classifier_ =
+            std::make_unique<UniformRowClassifier>(RowClass::Slow);
+    const RowClassifier &cls =
+        classifier_ ? static_cast<const RowClassifier &>(*classifier_)
+                    : static_cast<const RowClassifier &>(*layout_);
+
+    dram_ = std::make_unique<DramSystem>(cfg_.geom, timing_, cls,
+                                         cfg_.ctrl);
+    caches_ = std::make_unique<CacheHierarchy>(cfg_.numCores, cfg_.caches,
+                                               cfg_.seed);
+
+    DasConfig dcfg = cfg_.das;
+    dcfg.mode = spec.mode;
+    dcfg.zeroMigrationLatency = spec.zeroMigrationLatency;
+    dcfg.llcLatencyTicks = cpuCyclesToTicks(cfg_.caches.llcLatencyCpu);
+    das_ = std::make_unique<DasManager>(*dram_, caches_.get(), *layout_,
+                                        dcfg);
+
+    mshrs_ = std::make_unique<MshrFile>(cfg_.mshrsPerCore * cfg_.numCores);
+
+    wbSink_ = [this](Addr line) {
+        das_->access(line, /*is_write=*/true, /*core=*/-1,
+                     DasManager::DoneFn{}, now_);
+    };
+
+    for (unsigned i = 0; i < cfg_.numCores; ++i) {
+        Addr base = cfg_.coreBase(i);
+        cores_.push_back(std::make_unique<Core>(
+            static_cast<int>(i), cfg_.core, *traces_[i],
+            [this, i, base](Addr a, bool w,
+                            std::function<void(Cycle)> done) {
+                handleCoreAccess(i, a + base, w, std::move(done));
+            }));
+        statGroup_.addChild(&cores_.back()->stats());
+    }
+    statGroup_.addChild(&caches_->stats());
+    statGroup_.addChild(&das_->stats());
+    statGroup_.addChild(&dram_->stats());
+    statGroup_.addChild(&mshrs_->stats());
+}
+
+System::~System() = default;
+
+void
+System::scheduleEvent(Cycle at, std::function<void()> fn)
+{
+    events_.push(Event{at, eventSeq_++, std::move(fn)});
+}
+
+void
+System::handleCoreAccess(unsigned core, Addr addr, bool is_write,
+                         std::function<void(Cycle)> done)
+{
+    CacheAccessResult res = caches_->access(core, addr, is_write, wbSink_);
+    if (res.level != HitLevel::Miss) {
+        done(now_ + res.latencyTicks);
+        return;
+    }
+    Cycle at = now_ + res.latencyTicks;
+    Addr line = res.lineAddr;
+    scheduleEvent(at, [this, core, line, is_write,
+                       done = std::move(done)]() mutable {
+        startMiss(core, line, is_write, now_);
+        // Register this access's waiter after startMiss ensured an
+        // MSHR entry exists (or will retry below).
+        if (mshrs_->outstanding(line)) {
+            mshrs_->addWaiter(line,
+                              [done = std::move(done)](Addr, Cycle t) {
+                                  done(t);
+                              });
+        } else {
+            // MSHR file full and allocation deferred: complete the
+            // load pessimistically when the retry path resolves. To
+            // keep bookkeeping simple we retry the whole access.
+            handleCoreAccess(core, line, is_write, std::move(done));
+        }
+    });
+}
+
+void
+System::startMiss(unsigned core, Addr line, bool is_write, Cycle at)
+{
+    if (mshrs_->outstanding(line))
+        return; // coalesced; fill in flight
+    if (mshrs_->full())
+        return; // caller retries
+    mshrs_->allocate(line);
+    das_->access(line, /*is_write=*/false, static_cast<int>(core),
+                 [this, core, line, is_write](Cycle t) {
+                     caches_->fill(core, line, is_write, wbSink_);
+                     mshrs_->complete(line, t);
+                 },
+                 at);
+}
+
+void
+System::resetAfterWarmup()
+{
+    warmupDone_ = true;
+    statGroup_.resetAll();
+    das_->resetStats();
+    warmupCycleStamp_ = now_;
+}
+
+RunMetrics
+System::run()
+{
+    const InstCount warmup = cfg_.warmupInstructions();
+    const InstCount target = cfg_.instructionsPerCore;
+    Cycle next_cpu_at = 0;
+    InstCount warmup_retired_base = 0;
+
+    auto min_retired = [this]() {
+        InstCount m = kCycleMax;
+        for (const auto &c : cores_)
+            m = std::min(m, c->retired());
+        return m;
+    };
+
+    while (true) {
+        now_ = next_cpu_at;
+
+        while (!events_.empty() && events_.top().at <= now_) {
+            auto fn = events_.top().fn;
+            events_.pop();
+            fn();
+        }
+
+        das_->tick(now_);
+        dram_->tick(now_);
+        for (auto &core : cores_)
+            core->tick(now_);
+
+        next_cpu_at += kCpuTick;
+
+        InstCount done = min_retired();
+        if (!warmupDone_) {
+            if (done >= warmup) {
+                resetAfterWarmup();
+                warmup_retired_base = warmup;
+            }
+        }
+        if (done >= target - (warmupDone_ ? warmup_retired_base : 0))
+            break;
+    }
+
+    RunMetrics m;
+    m.cpuCycles = cores_[0]->cycles();
+    for (const auto &c : cores_) {
+        m.ipc.push_back(c->ipc());
+        m.instructions += c->retired();
+    }
+    // Unique line fills, not raw lookup misses: accesses to a line
+    // whose fill is already in flight coalesce in the MSHRs and are not
+    // separate memory misses.
+    m.llcMisses = mshrs_->allocations();
+    m.locations = das_->locations();
+    m.promotions = das_->promotions();
+    m.memAccesses = das_->demandAccesses();
+    m.footprintRows = das_->footprintRows();
+    m.energy = dram_->energyBreakdown();
+    return m;
+}
+
+void
+System::dumpStats(std::ostream &os) const
+{
+    statGroup_.dump(os);
+}
+
+} // namespace dasdram

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The full simulated system: cores, cache hierarchy, DAS manager and
+ * DRAM, with the tick loop, warm-up handling and metric extraction.
+ */
+
+#ifndef DASDRAM_SIM_SYSTEM_HH
+#define DASDRAM_SIM_SYSTEM_HH
+
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "cache/mshr.hh"
+#include "core/das_manager.hh"
+#include "core/designs.hh"
+#include "cpu/core.hh"
+#include "dram/dram_system.hh"
+#include "sim/sim_config.hh"
+
+namespace dasdram
+{
+
+/** End-of-run metrics of one simulation. */
+struct RunMetrics
+{
+    std::vector<double> ipc;    ///< per core, measured window
+    std::uint64_t cpuCycles = 0; ///< measured window
+    InstCount instructions = 0;  ///< total retired (all cores)
+    std::uint64_t llcMisses = 0; ///< demand misses
+    LocationStats locations{};
+    std::uint64_t promotions = 0;
+    std::uint64_t memAccesses = 0; ///< requests below the LLC
+    std::uint64_t footprintRows = 0;
+    EnergyBreakdown energy{};
+
+    /** Demand LLC misses per kilo-instruction. */
+    double
+    mpki() const
+    {
+        return instructions
+                   ? 1000.0 * static_cast<double>(llcMisses) /
+                         static_cast<double>(instructions)
+                   : 0.0;
+    }
+
+    /** Promotions per kilo-miss (Figure 7b/e). */
+    double
+    ppkm() const
+    {
+        return llcMisses ? 1000.0 * static_cast<double>(promotions) /
+                               static_cast<double>(llcMisses)
+                         : 0.0;
+    }
+
+    /** Promotions per memory access (Figure 8c). */
+    double
+    promotionsPerAccess() const
+    {
+        return memAccesses ? static_cast<double>(promotions) /
+                                 static_cast<double>(memAccesses)
+                           : 0.0;
+    }
+
+    /** Footprint touched in MiB (measured window). */
+    double
+    footprintMiB(std::uint64_t row_bytes) const
+    {
+        return static_cast<double>(footprintRows * row_bytes) /
+               static_cast<double>(MiB);
+    }
+};
+
+/**
+ * Owns and wires all components for one simulation run.
+ */
+class System
+{
+  public:
+    /**
+     * @param traces one per core; must outlive the system. Addresses
+     *        are offset by cfg.coreBase(i).
+     */
+    System(const SimConfig &cfg, std::vector<TraceSource *> traces);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /** Run to completion (instruction target on every core). */
+    RunMetrics run();
+
+    /** Access the manager (e.g. to program static tables) pre-run. */
+    DasManager &manager() { return *das_; }
+    DramSystem &dram() { return *dram_; }
+    CacheHierarchy &caches() { return *caches_; }
+    const AsymmetricLayout &layout() const { return *layout_; }
+    const SimConfig &config() const { return cfg_; }
+
+    /** Dump all statistics (post-run) to @p os. */
+    void dumpStats(std::ostream &os) const;
+
+  private:
+    void handleCoreAccess(unsigned core, Addr addr, bool is_write,
+                          std::function<void(Cycle)> done);
+    void scheduleEvent(Cycle at, std::function<void()> fn);
+    void startMiss(unsigned core, Addr line, bool is_write, Cycle at);
+    void resetAfterWarmup();
+
+    SimConfig cfg_;
+    std::vector<TraceSource *> traces_;
+
+    std::unique_ptr<RowClassifier> classifier_;
+    std::unique_ptr<AsymmetricLayout> layout_;
+    DramTiming timing_;
+    std::unique_ptr<DramSystem> dram_;
+    std::unique_ptr<CacheHierarchy> caches_;
+    std::unique_ptr<DasManager> das_;
+    std::unique_ptr<MshrFile> mshrs_;
+    std::vector<std::unique_ptr<Core>> cores_;
+
+    struct Event
+    {
+        Cycle at;
+        std::uint64_t seq;
+        std::function<void()> fn;
+        bool operator>(const Event &o) const
+        {
+            return at != o.at ? at > o.at : seq > o.seq;
+        }
+    };
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        events_;
+    std::uint64_t eventSeq_ = 0;
+
+    Cycle now_ = 0;
+    CacheHierarchy::WritebackSink wbSink_;
+    std::uint64_t warmupCycleStamp_ = 0;
+    bool warmupDone_ = false;
+
+    StatGroup statGroup_;
+};
+
+} // namespace dasdram
+
+#endif // DASDRAM_SIM_SYSTEM_HH

@@ -1,0 +1,124 @@
+#include "spec_profiles.hh"
+
+#include <map>
+
+#include "common/log.hh"
+
+namespace dasdram
+{
+
+namespace
+{
+
+/**
+ * Profile table. Footprints/MPKI targets follow Figure 7b and published
+ * SPEC CPU2006 characterisations; behavioural archetypes:
+ *  - libquantum/lbm: streaming (high row-buffer locality, static-friendly)
+ *  - mcf: large-footprint pointer chasing, flat skew (latency-bound)
+ *  - GemsFDTD/milc: strong phase churn (high PPKM; hurts static AND
+ *    narrows the DAS vs DAS-FM gap the paper discusses)
+ *  - astar/cactusADM: low intensity
+ * Phase lengths are time-compressed to match our shorter simulations
+ * (the paper runs 100M instructions; defaults here assume ~10M).
+ */
+std::vector<BenchmarkProfile>
+makeProfiles()
+{
+    std::vector<BenchmarkProfile> v;
+    auto add = [&v](const char *name, double fp_mib, double mem_ratio,
+                    double wr, double reuse, double p_stream,
+                    double p_work, double p_hot, double p_uni,
+                    double hot_frac, double zipf, std::uint64_t ws_pages,
+                    double ws_churn, double phase_minstr, double drift,
+                    unsigned streams, unsigned run) {
+        BenchmarkProfile p;
+        p.name = name;
+        p.footprintMiB = fp_mib;
+        p.memRatio = mem_ratio;
+        p.writeFraction = wr;
+        p.reuseProb = reuse;
+        p.pStream = p_stream;
+        p.pWork = p_work;
+        p.pHot = p_hot;
+        p.pUniform = p_uni;
+        p.hotFraction = hot_frac;
+        p.zipfS = zipf;
+        p.workingSetPages = ws_pages;
+        p.workingSetChurn = ws_churn;
+        p.phaseInstructions =
+            static_cast<InstCount>(phase_minstr * 1'000'000.0);
+        p.phaseDrift = drift;
+        p.streams = streams;
+        p.runLength = run;
+        v.push_back(p);
+    };
+
+    // name         fpMiB memR  wr    reuse  pStr  pWork pHot  pUni  hotFr  zipf  Wpages churn   phM   drift st run
+    add("astar",      220, 0.28, 0.10, 0.971, 0.04, 0.79, 0.16, 0.01, 0.020, 1.10, 1400, 0.0100,  8.0, 0.10, 1, 2);
+    add("cactusADM",  180, 0.30, 0.22, 0.983, 0.25, 0.58, 0.16, 0.01, 0.020, 1.10,  900, 0.0143, 10.0, 0.10, 4, 8);
+    add("GemsFDTD",   400, 0.32, 0.15, 0.938, 0.25, 0.63, 0.11, 0.01, 0.020, 1.05, 2500, 0.0117,  4.0, 0.15, 6, 8);
+    add("lbm",        420, 0.34, 0.40, 0.912, 0.45, 0.48, 0.06, 0.01, 0.020, 1.05, 1600, 0.0052, 12.0, 0.10, 8, 16);
+    add("leslie3d",   130, 0.32, 0.20, 0.959, 0.30, 0.57, 0.12, 0.01, 0.020, 1.10,  800, 0.0050,  8.0, 0.10, 6, 8);
+    add("libquantum",  64, 0.30, 0.25, 0.917, 0.70, 0.25, 0.04, 0.01, 0.020, 1.00,  330, 0.0025, 20.0, 0.05, 2, 32);
+    add("mcf",        480, 0.32, 0.08, 0.891, 0.04, 0.84, 0.10, 0.02, 0.020, 1.10, 4300, 0.0075,  6.0, 0.15, 1, 1);
+    add("milc",       450, 0.30, 0.15, 0.917, 0.15, 0.70, 0.13, 0.02, 0.020, 1.05, 4000, 0.0135,  3.0, 0.20, 4, 4);
+    add("omnetpp",    170, 0.30, 0.20, 0.933, 0.08, 0.77, 0.14, 0.01, 0.020, 1.10, 1100, 0.0034,  6.0, 0.15, 2, 2);
+    add("soplex",     300, 0.31, 0.12, 0.919, 0.20, 0.65, 0.13, 0.02, 0.020, 1.10, 1900, 0.0054,  6.0, 0.12, 4, 8);
+    return v;
+}
+
+const std::vector<BenchmarkProfile> &
+profiles()
+{
+    static const std::vector<BenchmarkProfile> table = makeProfiles();
+    return table;
+}
+
+} // namespace
+
+const BenchmarkProfile &
+specProfile(const std::string &name)
+{
+    for (const BenchmarkProfile &p : profiles()) {
+        if (p.name == name)
+            return p;
+    }
+    fatal("unknown SPEC benchmark profile '{}'", name);
+}
+
+const std::vector<std::string> &
+specBenchmarks()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> n;
+        for (const BenchmarkProfile &p : profiles())
+            n.push_back(p.name);
+        return n;
+    }();
+    return names;
+}
+
+const std::vector<std::vector<std::string>> &
+specMixes()
+{
+    // Table 2, sets M1-M8.
+    static const std::vector<std::vector<std::string>> mixes = {
+        {"cactusADM", "mcf", "milc", "omnetpp"},          // M1
+        {"cactusADM", "GemsFDTD", "lbm", "mcf"},          // M2
+        {"cactusADM", "lbm", "leslie3d", "omnetpp"},      // M3
+        {"astar", "cactusADM", "lbm", "milc"},            // M4
+        {"astar", "libquantum", "omnetpp", "soplex"},     // M5
+        {"GemsFDTD", "leslie3d", "libquantum", "soplex"}, // M6
+        {"leslie3d", "libquantum", "milc", "soplex"},     // M7
+        {"lbm", "libquantum", "mcf", "soplex"},           // M8
+    };
+    return mixes;
+}
+
+std::string
+mixName(std::size_t i)
+{
+    return "M" + std::to_string(i + 1);
+}
+
+} // namespace dasdram

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Synthetic behavioural profiles of the ten SPEC CPU2006 memory-bound
+ * benchmarks used by the paper (Table 2), and the eight multi-
+ * programming mixes M1–M8.
+ *
+ * The profiles parameterise the synthetic trace generator: footprint,
+ * memory intensity, streaming vs. hot-set vs. uniform-random mix,
+ * hot-set size and skew, spatial run length and phase churn. Values are
+ * calibrated so that measured MPKI and footprints land near Figure 7b,
+ * and so the qualitative behaviours the paper leans on are present
+ * (e.g. GemsFDTD/milc phase churn → high PPKM; libquantum streaming →
+ * row-buffer locality; mcf large-footprint pointer chasing).
+ */
+
+#ifndef DASDRAM_WORKLOAD_SPEC_PROFILES_HH
+#define DASDRAM_WORKLOAD_SPEC_PROFILES_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dasdram
+{
+
+/** Generator parameters for one benchmark. */
+struct BenchmarkProfile
+{
+    std::string name;
+
+    /** Resident footprint in MiB (distinct bytes touched). */
+    double footprintMiB = 256;
+
+    /** Fraction of instructions that are memory operations. */
+    double memRatio = 0.30;
+
+    /** Fraction of memory operations that are stores. */
+    double writeFraction = 0.15;
+
+    /**
+     * Probability an access immediately reuses one of the last few
+     * lines (captures register-spill/stack locality; lands in L1).
+     */
+    double reuseProb = 0.60;
+
+    /// @name Pattern mix for non-reuse accesses (must sum to 1)
+    /// @{
+    double pStream = 0.3;   ///< sequential sweeps over the footprint
+    double pWork = 0.4;     ///< wandering working-set ring (recency
+                            ///< locality, flat lifetime frequency — what
+                            ///< dynamic migration exploits and lifetime
+                            ///< profiling cannot)
+    double pHot = 0.25;     ///< skewed stable hot set (zipf frequency —
+                            ///< what static profiling CAN capture)
+    double pUniform = 0.05; ///< uniform random over the footprint
+    /// @}
+
+    /** Working-set ring size in pages (rows). */
+    std::uint64_t workingSetPages = 2000;
+
+    /**
+     * Probability that a working-set access replaces the oldest ring
+     * entry with a fresh random page. 1/churn ≈ accesses per page per
+     * residence; drives PPKM.
+     */
+    double workingSetChurn = 0.01;
+
+    /**
+     * The ring and hot set draw pages from an active region of
+     * activeRegionFactor × workingSetPages (clamped to the footprint).
+     * The factor sets lifetime-touched rows per migration group: the
+     * simultaneous density is 32/factor rows per group, while over a
+     * profiling lifetime several ring turnovers touch far more — which
+     * is why frequency-based static assignment captures only a
+     * fraction of a recency working set.
+     */
+    double activeRegionFactor = 15.0;
+
+    /**
+     * Hot-set size as a fraction of the footprint. Hot pages are
+     * scattered uniformly over the whole footprint, so this is also the
+     * expected fraction of hot rows per migration group — the quantity
+     * that competes with the fast-level capacity ratio (Figure 9c).
+     */
+    double hotFraction = 0.08;
+
+    /** Zipf skew within the hot region (0 = uniform). */
+    double zipfS = 0.8;
+
+    /**
+     * Instructions per program phase; at each phase boundary the hot
+     * region moves, invalidating previously hot rows (what dynamic
+     * migration exploits and static profiling cannot).
+     */
+    InstCount phaseInstructions = 50'000'000;
+
+    /**
+     * Fraction of the hot-set layout that relocates at each phase
+     * boundary (sticky random walk). Drives PPKM and the gap between
+     * static profiling and dynamic migration.
+     */
+    double phaseDrift = 0.25;
+
+    /** Number of concurrent streaming sequences. */
+    unsigned streams = 2;
+
+    /** Sequential lines accessed per chosen page (spatial locality). */
+    unsigned runLength = 8;
+};
+
+/** Look up a profile by SPEC benchmark name. Fatal if unknown. */
+const BenchmarkProfile &specProfile(const std::string &name);
+
+/** All ten single-programming workloads (Table 2 order). */
+const std::vector<std::string> &specBenchmarks();
+
+/** The eight 4-way multi-programming mixes M1–M8 (Table 2). */
+const std::vector<std::vector<std::string>> &specMixes();
+
+/** Name of mix @p i (0-based): "M1".."M8". */
+std::string mixName(std::size_t i);
+
+} // namespace dasdram
+
+#endif // DASDRAM_WORKLOAD_SPEC_PROFILES_HH

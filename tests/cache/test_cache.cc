@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit and property tests for the set-associative cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "common/random.hh"
+
+using namespace dasdram;
+
+TEST(Cache, MissThenInsertThenHit)
+{
+    Cache c({1024, 2, 64}, "c");
+    EXPECT_FALSE(c.access(0x100, false));
+    c.insert(0x100, false);
+    EXPECT_TRUE(c.access(0x100, false));
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, LineGranularity)
+{
+    Cache c({1024, 2, 64}, "c");
+    c.insert(0x100, false);
+    EXPECT_TRUE(c.access(0x100 + 63, false)); // same line
+    EXPECT_FALSE(c.access(0x100 + 64, false)); // next line
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    // 2-way, 1 set: 128 B cache with 64 B lines.
+    Cache c({128, 2, 64}, "c");
+    c.insert(0 * 64, false);
+    c.insert(1 * 64, false);
+    c.access(0 * 64, false); // touch line 0 → line 1 is LRU
+    Cache::Eviction ev = c.insert(2 * 64, false);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.line, 1u * 64);
+    EXPECT_TRUE(c.probe(0 * 64));
+    EXPECT_FALSE(c.probe(1 * 64));
+}
+
+TEST(Cache, DirtyTrackingThroughWriteAccess)
+{
+    Cache c({128, 2, 64}, "c");
+    c.insert(0, false);
+    c.insert(64, false);
+    c.access(0, true); // dirties and refreshes line 0 → 64 is LRU
+    Cache::Eviction ev = c.insert(128, false);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.line, 64u);
+    EXPECT_FALSE(ev.dirty);
+    // Now {0 (dirty, older), 128}: next insert evicts the dirty line.
+    ev = c.insert(192, false);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.line, 0u);
+    EXPECT_TRUE(ev.dirty);
+}
+
+TEST(Cache, InsertExistingRefreshesWithoutEviction)
+{
+    Cache c({128, 2, 64}, "c");
+    c.insert(0, false);
+    c.insert(64, false);
+    Cache::Eviction ev = c.insert(0, true); // refresh + dirty
+    EXPECT_FALSE(ev.valid);
+    ev = c.insert(128, false); // evicts 64, not 0
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.line, 64u);
+}
+
+TEST(Cache, InvalidateReportsDirtiness)
+{
+    Cache c({1024, 2, 64}, "c");
+    c.insert(0x40, true);
+    EXPECT_TRUE(c.invalidate(0x40));
+    EXPECT_FALSE(c.probe(0x40));
+    EXPECT_FALSE(c.invalidate(0x40)); // already gone
+}
+
+TEST(Cache, OccupancyGrowsToFull)
+{
+    Cache c({1024, 4, 64}, "c"); // 16 lines
+    EXPECT_DOUBLE_EQ(c.occupancy(), 0.0);
+    for (Addr a = 0; a < 1024; a += 64)
+        c.insert(a, false);
+    EXPECT_DOUBLE_EQ(c.occupancy(), 1.0);
+}
+
+class CacheGeometrySweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, unsigned>>
+{
+};
+
+TEST_P(CacheGeometrySweep, WorkingSetSmallerThanCacheAlwaysHitsAfterWarm)
+{
+    auto [size, assoc] = GetParam();
+    Cache c({size, assoc, 64}, "c");
+    std::uint64_t lines = size / 64;
+    // Warm exactly the cache capacity with a stride-1 set.
+    for (std::uint64_t i = 0; i < lines; ++i)
+        c.insert(i * 64, false);
+    for (std::uint64_t i = 0; i < lines; ++i)
+        EXPECT_TRUE(c.access(i * 64, false)) << "line " << i;
+}
+
+TEST_P(CacheGeometrySweep, CapacityNeverExceeded)
+{
+    auto [size, assoc] = GetParam();
+    Cache c({size, assoc, 64}, "c");
+    for (std::uint64_t i = 0; i < 4 * size / 64; ++i)
+        c.insert(i * 64, false);
+    EXPECT_DOUBLE_EQ(c.occupancy(), 1.0);
+    // Evictions = inserts - capacity.
+    EXPECT_EQ(c.evictions(), 4 * size / 64 - size / 64);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometrySweep,
+    ::testing::Values(std::make_tuple(4 * KiB, 1u),
+                      std::make_tuple(4 * KiB, 4u),
+                      std::make_tuple(64 * KiB, 8u),
+                      std::make_tuple(256 * KiB, 16u)));
+
+TEST(Cache, RandomReplacementStillBoundsCapacity)
+{
+    Cache c({4 * KiB, 4, 64, CacheRepl::Random}, "c");
+    for (std::uint64_t i = 0; i < 500; ++i)
+        c.insert(i * 64, false);
+    EXPECT_DOUBLE_EQ(c.occupancy(), 1.0);
+}
+
+TEST(Cache, MatchesReferenceLruModel)
+{
+    // Property: under random traffic, Cache agrees exactly with a
+    // straightforward list-based LRU reference model.
+    const std::uint64_t size = 2 * KiB, assoc = 4, line = 64;
+    const std::uint64_t sets = size / (line * assoc);
+    Cache c({size, static_cast<unsigned>(assoc), line}, "dut");
+    // reference[set] = lines most-recent-first
+    std::vector<std::vector<Addr>> ref(sets);
+    Rng rng(99);
+    for (int i = 0; i < 20000; ++i) {
+        Addr a = rng.nextBelow(4 * size / line) * line;
+        std::uint64_t set = (a / line) % sets;
+        auto &v = ref[set];
+        auto it = std::find(v.begin(), v.end(), a);
+        bool ref_hit = it != v.end();
+        bool dut_hit = c.access(a, false);
+        ASSERT_EQ(dut_hit, ref_hit) << "access " << i;
+        if (ref_hit) {
+            v.erase(it);
+            v.insert(v.begin(), a);
+        } else {
+            // Fill like the hierarchy would.
+            c.insert(a, false);
+            v.insert(v.begin(), a);
+            if (v.size() > assoc)
+                v.pop_back();
+        }
+    }
+}

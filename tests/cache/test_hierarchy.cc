@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the three-level cache hierarchy: latency levels, promotion
+ * on hits, writeback cascades and the LLC side path for table walks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/hierarchy.hh"
+
+using namespace dasdram;
+
+namespace
+{
+
+HierarchyConfig
+smallConfig()
+{
+    HierarchyConfig cfg;
+    cfg.l1 = {1 * KiB, 2, 64};
+    cfg.l2 = {4 * KiB, 4, 64};
+    cfg.llc = {16 * KiB, 8, 64};
+    return cfg;
+}
+
+} // namespace
+
+TEST(Hierarchy, MissThenFillThenL1Hit)
+{
+    CacheHierarchy h(1, smallConfig());
+    std::vector<Addr> wbs;
+    auto sink = [&](Addr a) { wbs.push_back(a); };
+    CacheAccessResult r = h.access(0, 0x1000, false, sink);
+    EXPECT_EQ(r.level, HitLevel::Miss);
+    EXPECT_EQ(r.latencyTicks, cpuCyclesToTicks(20));
+    h.fill(0, r.lineAddr, false, sink);
+    r = h.access(0, 0x1000, false, sink);
+    EXPECT_EQ(r.level, HitLevel::L1);
+    EXPECT_EQ(r.latencyTicks, cpuCyclesToTicks(4));
+    EXPECT_TRUE(wbs.empty());
+}
+
+TEST(Hierarchy, L2HitPromotesToL1)
+{
+    CacheHierarchy h(1, smallConfig());
+    auto sink = [](Addr) {};
+    h.fill(0, 0x1000, false, sink);
+    // Evict 0x1000 from tiny L1 with conflicting fills.
+    for (Addr a = 0; a < 4 * KiB; a += 64)
+        h.l1(0).insert(a, false);
+    EXPECT_FALSE(h.l1(0).probe(0x1000));
+    CacheAccessResult r = h.access(0, 0x1000, false, sink);
+    EXPECT_EQ(r.level, HitLevel::L2);
+    EXPECT_TRUE(h.l1(0).probe(0x1000)); // promoted back
+}
+
+TEST(Hierarchy, DirtyLineWritebackReachesSink)
+{
+    CacheHierarchy h(1, smallConfig());
+    std::vector<Addr> wbs;
+    auto sink = [&](Addr a) { wbs.push_back(a); };
+    // Dirty one line in L1 (write-allocate fill).
+    h.fill(0, 0x100000, true, sink);
+    // Fill far more distinct lines than the LLC holds: the dirty line
+    // cascades L1 → L2 → LLC → sink.
+    for (Addr a = 0; a < 64 * KiB; a += 64)
+        h.fill(0, a, false, sink);
+    bool found = false;
+    for (Addr a : wbs)
+        found = found || a == 0x100000;
+    EXPECT_TRUE(found);
+}
+
+TEST(Hierarchy, CoresHavePrivateL1L2)
+{
+    CacheHierarchy h(2, smallConfig());
+    auto sink = [](Addr) {};
+    h.fill(0, 0x3000, false, sink);
+    EXPECT_EQ(h.access(0, 0x3000, false, sink).level, HitLevel::L1);
+    // Core 1 misses its private levels but hits the shared LLC.
+    CacheAccessResult r = h.access(1, 0x3000, false, sink);
+    EXPECT_EQ(r.level, HitLevel::LLC);
+}
+
+TEST(Hierarchy, LlcSidePathForTableLines)
+{
+    CacheHierarchy h(1, smallConfig());
+    auto sink = [](Addr) {};
+    Addr table_line = 0x7000;
+    EXPECT_FALSE(h.llcSideAccess(table_line));
+    h.fillLlcOnly(table_line, sink);
+    EXPECT_TRUE(h.llcSideAccess(table_line));
+    // Side fills do not touch L1/L2.
+    EXPECT_FALSE(h.l1(0).probe(table_line));
+    EXPECT_FALSE(h.l2(0).probe(table_line));
+}
+
+TEST(Hierarchy, DemandMissCounterTracksMissesOnly)
+{
+    CacheHierarchy h(1, smallConfig());
+    auto sink = [](Addr) {};
+    h.access(0, 0x100, false, sink);
+    h.fill(0, 0x100, false, sink);
+    h.access(0, 0x100, false, sink);
+    EXPECT_EQ(h.demandLlcMisses(), 1u);
+}
+
+TEST(Hierarchy, Table1DefaultGeometry)
+{
+    HierarchyConfig cfg;
+    EXPECT_EQ(cfg.l1.sizeBytes, 64 * KiB);
+    EXPECT_EQ(cfg.l2.sizeBytes, 256 * KiB);
+    EXPECT_EQ(cfg.llc.sizeBytes, 4 * MiB);
+    EXPECT_EQ(cfg.l1LatencyCpu, 4u);
+    EXPECT_EQ(cfg.l2LatencyCpu, 12u);
+    EXPECT_EQ(cfg.llcLatencyCpu, 20u);
+}

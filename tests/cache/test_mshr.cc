@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Unit tests for the MSHR file.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/mshr.hh"
+
+using namespace dasdram;
+
+TEST(Mshr, AllocateAndComplete)
+{
+    MshrFile m(4);
+    EXPECT_FALSE(m.outstanding(0x100));
+    m.allocate(0x100);
+    EXPECT_TRUE(m.outstanding(0x100));
+    int fired = 0;
+    m.addWaiter(0x100, [&](Addr line, Cycle at) {
+        EXPECT_EQ(line, 0x100u);
+        EXPECT_EQ(at, 77u);
+        ++fired;
+    });
+    m.complete(0x100, 77);
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(m.outstanding(0x100));
+}
+
+TEST(Mshr, MultipleWaitersAllFire)
+{
+    MshrFile m(4);
+    m.allocate(0x40);
+    int fired = 0;
+    for (int i = 0; i < 5; ++i)
+        m.addWaiter(0x40, [&](Addr, Cycle) { ++fired; });
+    m.complete(0x40, 1);
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(m.coalesced(), 5u);
+}
+
+TEST(Mshr, CapacityEnforced)
+{
+    MshrFile m(2);
+    m.allocate(0x0);
+    EXPECT_FALSE(m.full());
+    m.allocate(0x40);
+    EXPECT_TRUE(m.full());
+    m.complete(0x0, 1);
+    EXPECT_FALSE(m.full());
+}
+
+TEST(Mshr, AllocationsCounted)
+{
+    MshrFile m(8);
+    m.allocate(0);
+    m.allocate(64);
+    m.complete(0, 1);
+    m.allocate(128);
+    EXPECT_EQ(m.allocations(), 3u);
+    EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(MshrDeathTest, DoubleAllocatePanics)
+{
+    MshrFile m(4);
+    m.allocate(0x100);
+    EXPECT_DEATH(m.allocate(0x100), "already outstanding");
+}
+
+TEST(MshrDeathTest, CompleteWithoutEntryPanics)
+{
+    MshrFile m(4);
+    EXPECT_DEATH(m.complete(0x100, 0), "without outstanding");
+}

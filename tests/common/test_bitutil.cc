@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Unit tests for bit utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitutil.hh"
+
+using namespace dasdram;
+
+TEST(BitUtil, IsPowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ULL << 40));
+    EXPECT_FALSE(isPowerOfTwo((1ULL << 40) + 1));
+}
+
+TEST(BitUtil, Log2Exact)
+{
+    EXPECT_EQ(log2Exact(1), 0u);
+    EXPECT_EQ(log2Exact(2), 1u);
+    EXPECT_EQ(log2Exact(4096), 12u);
+    EXPECT_EQ(log2Exact(1ULL << 33), 33u);
+}
+
+TEST(BitUtil, Log2Ceil)
+{
+    EXPECT_EQ(log2Ceil(1), 0u);
+    EXPECT_EQ(log2Ceil(2), 1u);
+    EXPECT_EQ(log2Ceil(3), 2u);
+    EXPECT_EQ(log2Ceil(4), 2u);
+    EXPECT_EQ(log2Ceil(5), 3u);
+}
+
+TEST(BitUtil, BitsExtraction)
+{
+    EXPECT_EQ(bits(0xABCD, 0, 4), 0xDu);
+    EXPECT_EQ(bits(0xABCD, 4, 4), 0xCu);
+    EXPECT_EQ(bits(0xABCD, 8, 8), 0xABu);
+    EXPECT_EQ(bits(~0ULL, 0, 64), ~0ULL);
+}
+
+TEST(BitUtil, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 4), 0u);
+    EXPECT_EQ(divCeil(1, 4), 1u);
+    EXPECT_EQ(divCeil(4, 4), 1u);
+    EXPECT_EQ(divCeil(5, 4), 2u);
+    EXPECT_EQ(divCeil(117, 2), 59u);
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Unit tests for the typed configuration store.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+
+using namespace dasdram;
+
+TEST(Config, DefaultsWhenAbsent)
+{
+    Config c;
+    EXPECT_EQ(c.getInt("missing", 42), 42);
+    EXPECT_EQ(c.getUInt("missing", 7u), 7u);
+    EXPECT_DOUBLE_EQ(c.getDouble("missing", 1.5), 1.5);
+    EXPECT_EQ(c.getString("missing", "x"), "x");
+    EXPECT_TRUE(c.getBool("missing", true));
+    EXPECT_FALSE(c.has("missing"));
+}
+
+TEST(Config, RoundTripTypes)
+{
+    Config c;
+    c.set("i", static_cast<std::int64_t>(-5));
+    c.set("u", static_cast<std::uint64_t>(123456789012ULL));
+    c.set("d", 2.25);
+    c.set("b", true);
+    c.set("s", std::string("hello"));
+    EXPECT_EQ(c.getInt("i", 0), -5);
+    EXPECT_EQ(c.getUInt("u", 0), 123456789012ULL);
+    EXPECT_DOUBLE_EQ(c.getDouble("d", 0), 2.25);
+    EXPECT_TRUE(c.getBool("b", false));
+    EXPECT_EQ(c.getString("s", ""), "hello");
+}
+
+TEST(Config, OverwriteReplacesValue)
+{
+    Config c;
+    c.set("k", static_cast<std::int64_t>(1));
+    c.set("k", static_cast<std::int64_t>(2));
+    EXPECT_EQ(c.getInt("k", 0), 2);
+}
+
+TEST(Config, ApplyOverrideParsesAssignment)
+{
+    Config c;
+    EXPECT_TRUE(c.applyOverride("alpha=3"));
+    EXPECT_EQ(c.getInt("alpha", 0), 3);
+    EXPECT_TRUE(c.applyOverride("name=das"));
+    EXPECT_EQ(c.getString("name", ""), "das");
+}
+
+TEST(Config, ApplyOverrideRejectsMalformed)
+{
+    Config c;
+    EXPECT_FALSE(c.applyOverride("no-equals"));
+    EXPECT_FALSE(c.applyOverride("=value"));
+}
+
+TEST(Config, BooleanSpellings)
+{
+    Config c;
+    for (const char *t : {"true", "1", "yes", "on"}) {
+        c.set("b", std::string(t));
+        EXPECT_TRUE(c.getBool("b", false)) << t;
+    }
+    for (const char *f : {"false", "0", "no", "off"}) {
+        c.set("b", std::string(f));
+        EXPECT_FALSE(c.getBool("b", true)) << f;
+    }
+}
+
+TEST(Config, KeysSorted)
+{
+    Config c;
+    c.set("zeta", 1.0);
+    c.set("alpha", 1.0);
+    auto keys = c.keys();
+    ASSERT_EQ(keys.size(), 2u);
+    EXPECT_EQ(keys[0], "alpha");
+    EXPECT_EQ(keys[1], "zeta");
+}
+
+TEST(Config, HexIntegerParsing)
+{
+    Config c;
+    c.set("addr", std::string("0x40"));
+    EXPECT_EQ(c.getUInt("addr", 0), 0x40u);
+}

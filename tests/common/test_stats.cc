@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+
+using namespace dasdram;
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(4);
+    EXPECT_EQ(c.value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Distribution, TracksMoments)
+{
+    Distribution d;
+    d.sample(2.0);
+    d.sample(4.0);
+    d.sample(9.0);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 9.0);
+    EXPECT_DOUBLE_EQ(d.sum(), 15.0);
+}
+
+TEST(Distribution, EmptyIsZero)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.min(), 0.0);
+    EXPECT_DOUBLE_EQ(d.max(), 0.0);
+}
+
+TEST(Distribution, NegativeValues)
+{
+    Distribution d;
+    d.sample(-3.0);
+    d.sample(1.0);
+    EXPECT_DOUBLE_EQ(d.min(), -3.0);
+    EXPECT_DOUBLE_EQ(d.max(), 1.0);
+}
+
+TEST(StatGroup, DumpContainsNamesAndValues)
+{
+    StatGroup g("dram");
+    Counter reads;
+    reads.inc(7);
+    g.addCounter("reads", &reads, "read count");
+    std::ostringstream oss;
+    g.dump(oss);
+    std::string out = oss.str();
+    EXPECT_NE(out.find("dram.reads 7"), std::string::npos);
+    EXPECT_NE(out.find("read count"), std::string::npos);
+}
+
+TEST(StatGroup, ChildGroupsArePrefixed)
+{
+    StatGroup parent("system");
+    StatGroup child("bank0");
+    Counter acts;
+    acts.inc(3);
+    child.addCounter("acts", &acts);
+    parent.addChild(&child);
+    std::ostringstream oss;
+    parent.dump(oss);
+    EXPECT_NE(oss.str().find("system.bank0.acts 3"), std::string::npos);
+}
+
+TEST(StatGroup, FormulaEvaluatedAtDump)
+{
+    StatGroup g("g");
+    Counter c;
+    g.addCounter("c", &c);
+    g.addFormula("double_c",
+                 [&c] { return 2.0 * static_cast<double>(c.value()); });
+    c.inc(5);
+    std::ostringstream oss;
+    g.dump(oss);
+    EXPECT_NE(oss.str().find("g.double_c 10.000000"), std::string::npos);
+}
+
+TEST(StatGroup, ResetAllRecurses)
+{
+    StatGroup parent("p");
+    StatGroup child("c");
+    Counter a, b;
+    a.inc(1);
+    b.inc(2);
+    parent.addCounter("a", &a);
+    child.addCounter("b", &b);
+    parent.addChild(&child);
+    parent.resetAll();
+    EXPECT_EQ(a.value(), 0u);
+    EXPECT_EQ(b.value(), 0u);
+}

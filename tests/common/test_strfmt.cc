@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Unit tests for the formatting shim.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/strfmt.hh"
+
+using namespace dasdram;
+
+TEST(StrFmt, PlainPlaceholders)
+{
+    EXPECT_EQ(formatStr("a {} b {}", 1, "x"), "a 1 b x");
+}
+
+TEST(StrFmt, NoPlaceholders)
+{
+    EXPECT_EQ(formatStr("hello"), "hello");
+}
+
+TEST(StrFmt, FixedPrecision)
+{
+    EXPECT_EQ(formatStr("{:.2f}", 3.14159), "3.14");
+    EXPECT_EQ(formatStr("{:.4f}", 1.0), "1.0000");
+}
+
+TEST(StrFmt, Hex)
+{
+    EXPECT_EQ(formatStr("{:x}", 255), "ff");
+}
+
+TEST(StrFmt, EscapedBraces)
+{
+    EXPECT_EQ(formatStr("{{}}"), "{}");
+    EXPECT_EQ(formatStr("{{{}}}", 5), "{5}");
+}
+
+TEST(StrFmt, ExtraArgumentsIgnored)
+{
+    EXPECT_EQ(formatStr("only {}", 1, 2, 3), "only 1");
+}
+
+TEST(StrFmt, ExcessPlaceholdersLeftVerbatim)
+{
+    EXPECT_EQ(formatStr("{} and {}", 1), "1 and {}");
+}
+
+TEST(StrFmt, WidthPadding)
+{
+    EXPECT_EQ(formatStr("{:4d}", 7), "   7");
+    EXPECT_EQ(formatStr("{:04d}", 7), "0007");
+}

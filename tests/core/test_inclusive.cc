@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests for the inclusive-cache management alternative (Section 5):
+ * directory behaviour and the DasManager inclusive mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/das_manager.hh"
+#include "core/inclusive_directory.hh"
+
+using namespace dasdram;
+
+namespace
+{
+
+DramGeometry
+smallGeom()
+{
+    DramGeometry g;
+    g.channels = 1;
+    g.ranksPerChannel = 1;
+    g.banksPerRank = 2;
+    g.rowsPerBank = 128;
+    return g;
+}
+
+} // namespace
+
+TEST(InclusiveDirectory, EmptyAtStart)
+{
+    DramGeometry g = smallGeom();
+    AsymmetricLayout l(g, {});
+    InclusiveDirectory d(l);
+    EXPECT_FALSE(d.find(10).valid);
+    EXPECT_EQ(d.occupant(0, 0), kAddrInvalid);
+    EXPECT_EQ(d.validCopies(), 0u);
+}
+
+TEST(InclusiveDirectory, InstallFindEvict)
+{
+    DramGeometry g = smallGeom();
+    AsymmetricLayout l(g, {});
+    InclusiveDirectory d(l);
+    d.install(10, 2); // logical row 10 (group 0) → fast slot 2
+    InclusiveDirectory::Copy c = d.find(10);
+    ASSERT_TRUE(c.valid);
+    EXPECT_EQ(c.fastSlot, 2u);
+    EXPECT_FALSE(c.dirty);
+    EXPECT_EQ(d.occupant(0, 2), 10u);
+    EXPECT_EQ(d.validCopies(), 1u);
+    d.evict(0, 2);
+    EXPECT_FALSE(d.find(10).valid);
+    EXPECT_EQ(d.validCopies(), 0u);
+}
+
+TEST(InclusiveDirectory, DirtyTracking)
+{
+    DramGeometry g = smallGeom();
+    AsymmetricLayout l(g, {});
+    InclusiveDirectory d(l);
+    d.install(20, 1);
+    EXPECT_FALSE(d.dirty(0, 1));
+    d.markDirty(20);
+    EXPECT_TRUE(d.dirty(0, 1));
+    EXPECT_TRUE(d.find(20).dirty);
+    // Replacement clears dirtiness.
+    d.install(21, 1);
+    EXPECT_FALSE(d.dirty(0, 1));
+    EXPECT_FALSE(d.find(20).valid);
+}
+
+TEST(InclusiveDirectory, GroupsIndependent)
+{
+    DramGeometry g = smallGeom();
+    AsymmetricLayout l(g, {});
+    InclusiveDirectory d(l);
+    d.install(10, 0);  // group 0
+    d.install(42, 0);  // group 1 (rows 32..63)
+    EXPECT_EQ(d.occupant(0, 0), 10u);
+    EXPECT_EQ(d.occupant(1, 0), 42u);
+}
+
+namespace
+{
+
+struct InclusiveHarness
+{
+    InclusiveHarness()
+        : geom(smallGeom()), timing(ddr3_1600Timing()),
+          layout(geom, {}), dram(geom, timing, layout),
+          caches(1,
+                 HierarchyConfig{{1 * KiB, 2, 64},
+                                 {4 * KiB, 4, 64},
+                                 {16 * KiB, 8, 64},
+                                 4,
+                                 12,
+                                 20}),
+          mgr(dram, &caches, layout, makeConfig())
+    {
+    }
+
+    static DasConfig
+    makeConfig()
+    {
+        DasConfig cfg;
+        cfg.exclusiveCache = false;
+        return cfg;
+    }
+
+    Cycle
+    accessAndWait(std::uint64_t row, bool write = false,
+                  std::uint64_t column = 0)
+    {
+        DramLoc loc{0, 0, 0, row, column};
+        Addr addr = dram.mapper().encode(loc);
+        Cycle done = kCycleMax;
+        mgr.access(addr, write, 0, [&done](Cycle at) { done = at; },
+                   now);
+        for (int i = 0; i < 200000 && done == kCycleMax; ++i) {
+            now += kMemTick;
+            mgr.tick(now);
+            dram.tick(now);
+        }
+        return done;
+    }
+
+    void
+    settle()
+    {
+        Cycle until = now + 600 * kMemTick;
+        while (now < until) {
+            now += kMemTick;
+            mgr.tick(now);
+            dram.tick(now);
+        }
+    }
+
+    DramGeometry geom;
+    DramTiming timing;
+    AsymmetricLayout layout;
+    DramSystem dram;
+    CacheHierarchy caches;
+    DasManager mgr;
+    Cycle now = 0;
+};
+
+} // namespace
+
+TEST(InclusiveManager, SlowAccessInstallsCopy)
+{
+    InclusiveHarness h;
+    h.accessAndWait(10);
+    h.settle();
+    EXPECT_EQ(h.mgr.promotions(), 1u);
+    InclusiveDirectory::Copy c = h.mgr.inclusiveDirectory()->find(
+        makeGlobalRowId(h.geom, 0, 0, 0, 10));
+    EXPECT_TRUE(c.valid);
+}
+
+TEST(InclusiveManager, CopyServedFromFastSlot)
+{
+    InclusiveHarness h;
+    h.accessAndWait(10);
+    h.settle();
+    h.accessAndWait(10, false, 3);
+    LocationStats loc = h.mgr.locations();
+    // First access slow, second from the fast copy (or its open row).
+    EXPECT_EQ(loc.slowLevel, 1u);
+    EXPECT_EQ(loc.fastLevel + loc.rowBuffer, 1u);
+}
+
+TEST(InclusiveManager, NativeFastRowsUnmanaged)
+{
+    InclusiveHarness h;
+    h.accessAndWait(2); // home slot 2 is fast
+    h.settle();
+    EXPECT_EQ(h.mgr.promotions(), 0u);
+    EXPECT_EQ(h.mgr.inclusiveDirectory()->validCopies(), 0u);
+}
+
+TEST(InclusiveManager, DirtyVictimCostsWriteback)
+{
+    InclusiveHarness h;
+    // Fill all four fast slots of group 0 with copies; dirty one.
+    for (std::uint64_t row : {10ULL, 11ULL, 12ULL, 13ULL}) {
+        h.accessAndWait(row);
+        h.settle();
+    }
+    EXPECT_EQ(h.mgr.promotions(), 4u);
+    h.accessAndWait(10, /*write=*/true); // dirty the copy of row 10
+    h.settle();
+    // Promote four more rows: some victim must be the dirty copy.
+    for (std::uint64_t row : {14ULL, 15ULL, 16ULL, 17ULL}) {
+        h.accessAndWait(row);
+        h.settle();
+    }
+    EXPECT_EQ(h.mgr.promotions(), 8u);
+    // Exactly one dirty write-back happened (only one copy was dirty).
+    std::ostringstream oss;
+    h.mgr.stats().dump(oss);
+    EXPECT_NE(oss.str().find("dirtyPromotions 1"), std::string::npos);
+}
+
+TEST(InclusiveManager, CleanPromotionUsesSingleMigration)
+{
+    InclusiveHarness h;
+    h.accessAndWait(10);
+    // The migration job is a single 1.5 tRC migration, not a swap:
+    // wait less than a full swap and the job must already be done.
+    Cycle start = h.now;
+    while (h.dram.channel(0).migrationCount() == 0 &&
+           h.now < start + 400 * kMemTick) {
+        h.now += kMemTick;
+        h.mgr.tick(h.now);
+        h.dram.tick(h.now);
+    }
+    EXPECT_EQ(h.dram.channel(0).migrationCount(), 1u);
+}

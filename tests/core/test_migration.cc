@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Tests for the migration-procedure model (Figure 3d / Figure 6) and
+ * its consistency with Table 1's 146.25 ns swap latency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/migration.hh"
+
+using namespace dasdram;
+
+TEST(MigrationProcedure, FourSteps)
+{
+    DramTiming t = ddr3_1600Timing();
+    MigrationProcedure proc(t);
+    auto steps = proc.steps();
+    ASSERT_EQ(steps.size(), 4u); // Figure 3d
+    for (const MigrationStep &s : steps) {
+        EXPECT_FALSE(s.name.empty());
+        EXPECT_GT(s.cycles, 0u);
+    }
+}
+
+TEST(MigrationProcedure, MigrationIsAboutOnePointFiveTrc)
+{
+    DramTiming t = ddr3_1600Timing();
+    MigrationProcedure proc(t);
+    double trc = static_cast<double>(t.slow.tRC);
+    EXPECT_NEAR(static_cast<double>(proc.migrationCycles()), 1.5 * trc,
+                2.0);
+}
+
+TEST(MigrationProcedure, SwapMatchesTable1Within3ns)
+{
+    DramTiming t = ddr3_1600Timing();
+    MigrationProcedure proc(t);
+    // Table 1: 146.25 ns.
+    EXPECT_NEAR(proc.swapNanoseconds(), 146.25, 5.0);
+    // And the engine's configured swap time agrees with the derived
+    // procedure within rounding.
+    EXPECT_NEAR(static_cast<double>(proc.swapCycles()),
+                static_cast<double>(t.swapCycles), 4.0);
+}
+
+TEST(MigrationProcedure, FasterThanTwoFullCycles)
+{
+    // The whole point of the tightened restore: below 2 tRC per
+    // migration (the naive bound), at or under 1.5 tRC + rounding.
+    DramTiming t = ddr3_1600Timing();
+    MigrationProcedure proc(t);
+    EXPECT_LT(proc.migrationCycles(), 2 * t.slow.tRC);
+}

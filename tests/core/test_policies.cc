@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for promotion filtering and fast-slot replacement policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/promotion_policy.hh"
+#include "core/replacement_policy.hh"
+
+using namespace dasdram;
+
+TEST(PromotionFilter, ThresholdOneAlwaysPromotes)
+{
+    PromotionFilter f({1, 1024});
+    for (GlobalRowId r = 0; r < 100; ++r)
+        EXPECT_TRUE(f.onSlowAccess(r));
+    EXPECT_EQ(f.promotionsAllowed(), 100u);
+    EXPECT_EQ(f.filtered(), 0u);
+}
+
+TEST(PromotionFilter, ThresholdTwoNeedsTwoHits)
+{
+    PromotionFilter f({2, 1024});
+    EXPECT_FALSE(f.onSlowAccess(5));
+    EXPECT_TRUE(f.onSlowAccess(5));
+    // Counter released after promotion: starts over.
+    EXPECT_FALSE(f.onSlowAccess(5));
+}
+
+class FilterThresholdSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(FilterThresholdSweep, ExactlyThresholdHitsRequired)
+{
+    unsigned th = GetParam();
+    PromotionFilter f({th, 1024});
+    for (unsigned i = 1; i < th; ++i)
+        EXPECT_FALSE(f.onSlowAccess(9)) << "hit " << i;
+    EXPECT_TRUE(f.onSlowAccess(9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, FilterThresholdSweep,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(PromotionFilter, CounterStealingResetsCount)
+{
+    // Two rows aliasing to the same counter (counters=1).
+    PromotionFilter f({3, 1});
+    EXPECT_FALSE(f.onSlowAccess(0));
+    EXPECT_FALSE(f.onSlowAccess(0));
+    // Row 1 steals the counter; row 0 progress lost.
+    EXPECT_FALSE(f.onSlowAccess(1));
+    EXPECT_FALSE(f.onSlowAccess(0));
+    EXPECT_FALSE(f.onSlowAccess(0));
+    EXPECT_TRUE(f.onSlowAccess(0));
+}
+
+TEST(PromotionFilter, ClearDropsProgress)
+{
+    PromotionFilter f({2, 16});
+    EXPECT_FALSE(f.onSlowAccess(3));
+    f.clear(3);
+    EXPECT_FALSE(f.onSlowAccess(3)); // starts from one again
+    EXPECT_TRUE(f.onSlowAccess(3));
+}
+
+TEST(Replacement, ParseAndName)
+{
+    EXPECT_EQ(parseFastReplPolicy("lru"), FastReplPolicy::Lru);
+    EXPECT_EQ(parseFastReplPolicy("random"), FastReplPolicy::Random);
+    EXPECT_EQ(parseFastReplPolicy("sequential"),
+              FastReplPolicy::Sequential);
+    EXPECT_EQ(parseFastReplPolicy("pseudorandom"),
+              FastReplPolicy::PseudoRandom);
+    EXPECT_STREQ(toString(FastReplPolicy::Lru), "lru");
+}
+
+TEST(Replacement, LruPicksColdestSlot)
+{
+    FastSlotReplacement r(FastReplPolicy::Lru, 4, 10);
+    r.onFastAccess(3, 0);
+    r.onFastAccess(3, 1);
+    r.onFastAccess(3, 3);
+    EXPECT_EQ(r.chooseVictim(3), 2u); // never touched
+    r.onFastAccess(3, 2);
+    EXPECT_EQ(r.chooseVictim(3), 0u); // now the oldest
+}
+
+TEST(Replacement, LruIsPerGroup)
+{
+    FastSlotReplacement r(FastReplPolicy::Lru, 4, 10);
+    r.onFastAccess(0, 0);
+    // Group 1 state untouched by group 0 accesses.
+    EXPECT_EQ(r.chooseVictim(1), 0u);
+}
+
+TEST(Replacement, SequentialRoundRobins)
+{
+    FastSlotReplacement r(FastReplPolicy::Sequential, 4, 10);
+    EXPECT_EQ(r.chooseVictim(2), 0u);
+    EXPECT_EQ(r.chooseVictim(2), 1u);
+    EXPECT_EQ(r.chooseVictim(2), 2u);
+    EXPECT_EQ(r.chooseVictim(2), 3u);
+    EXPECT_EQ(r.chooseVictim(2), 0u);
+    // Independent cursor per group.
+    EXPECT_EQ(r.chooseVictim(5), 0u);
+}
+
+TEST(Replacement, PseudoRandomUsesGlobalCounter)
+{
+    FastSlotReplacement r(FastReplPolicy::PseudoRandom, 4, 10);
+    EXPECT_EQ(r.chooseVictim(0), 0u);
+    EXPECT_EQ(r.chooseVictim(7), 1u); // counter is global
+    EXPECT_EQ(r.chooseVictim(0), 2u);
+}
+
+TEST(Replacement, RandomStaysInRange)
+{
+    FastSlotReplacement r(FastReplPolicy::Random, 4, 10);
+    std::set<unsigned> seen;
+    for (int i = 0; i < 200; ++i) {
+        unsigned v = r.chooseVictim(0);
+        ASSERT_LT(v, 4u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u);
+}

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the profiling-based static assignment (SAS/CHARM).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/static_profile.hh"
+
+using namespace dasdram;
+
+namespace
+{
+
+struct ProfileHarness
+{
+    ProfileHarness() : geom(makeGeom()), layout(geom, {}),
+                       mapper(geom), table(layout),
+                       profiler(mapper, layout)
+    {
+    }
+
+    static DramGeometry
+    makeGeom()
+    {
+        DramGeometry g;
+        g.channels = 1;
+        g.ranksPerChannel = 1;
+        g.banksPerRank = 1;
+        g.rowsPerBank = 128;
+        return g;
+    }
+
+    /** Trace hammering one row per entry (gap 0). */
+    static std::vector<TraceEntry>
+    rowTrace(std::initializer_list<std::pair<std::uint64_t, int>> rows,
+             const DramGeometry &g)
+    {
+        std::vector<TraceEntry> t;
+        for (auto [row, count] : rows) {
+            for (int i = 0; i < count; ++i)
+                t.push_back({0, row * g.rowBytes, false});
+        }
+        return t;
+    }
+
+    DramGeometry geom;
+    AsymmetricLayout layout;
+    AddressMapper mapper;
+    TranslationTable table;
+    StaticProfiler profiler;
+};
+
+} // namespace
+
+TEST(StaticProfiler, CountsRowReferences)
+{
+    ProfileHarness h;
+    VectorTraceSource trace(
+        ProfileHarness::rowTrace({{5, 10}, {9, 3}}, h.geom));
+    h.profiler.profile(trace, 1000);
+    EXPECT_EQ(h.profiler.countOf(5), 10u);
+    EXPECT_EQ(h.profiler.countOf(9), 3u);
+    EXPECT_EQ(h.profiler.countOf(7), 0u);
+    EXPECT_EQ(h.profiler.touchedRows(), 2u);
+}
+
+TEST(StaticProfiler, AssignPutsHottestInFastSlots)
+{
+    ProfileHarness h;
+    // Group 0 (rows 0..31): rows 10, 11, 12, 13, 14 hot in that order.
+    VectorTraceSource trace(ProfileHarness::rowTrace(
+        {{10, 50}, {11, 40}, {12, 30}, {13, 20}, {14, 10}}, h.geom));
+    h.profiler.profile(trace, 100000);
+    std::uint64_t placed = h.profiler.assign(h.table);
+    EXPECT_EQ(placed, 4u); // 4 fast slots per group
+    EXPECT_TRUE(h.table.isFast(10));
+    EXPECT_TRUE(h.table.isFast(11));
+    EXPECT_TRUE(h.table.isFast(12));
+    EXPECT_TRUE(h.table.isFast(13));
+    EXPECT_FALSE(h.table.isFast(14)); // fifth hottest loses
+}
+
+TEST(StaticProfiler, AssignmentRespectsGroups)
+{
+    ProfileHarness h;
+    // Hot rows in group 1 (rows 32..63) cannot displace group 0 slots.
+    VectorTraceSource trace(ProfileHarness::rowTrace(
+        {{40, 100}, {41, 90}, {42, 80}, {43, 70}, {44, 60}, {45, 50}},
+        h.geom));
+    h.profiler.profile(trace, 100000);
+    h.profiler.assign(h.table);
+    // Exactly 4 of the six hot rows become fast, all within group 1.
+    int fast = 0;
+    for (std::uint64_t r = 40; r <= 45; ++r)
+        fast += h.table.isFast(r) ? 1 : 0;
+    EXPECT_EQ(fast, 4);
+    // Group 0 untouched: identity.
+    EXPECT_TRUE(h.table.isFast(0));
+}
+
+TEST(StaticProfiler, AlreadyFastRowsStayWithoutSwaps)
+{
+    ProfileHarness h;
+    // Rows 0..3 are the initial fast slots of group 0.
+    VectorTraceSource trace(ProfileHarness::rowTrace(
+        {{0, 10}, {1, 10}, {2, 10}, {3, 10}}, h.geom));
+    h.profiler.profile(trace, 100000);
+    h.profiler.assign(h.table);
+    EXPECT_EQ(h.table.swapCount(), 0u);
+}
+
+TEST(StaticProfiler, ProfileWindowBounded)
+{
+    ProfileHarness h;
+    std::vector<TraceEntry> entries;
+    for (int i = 0; i < 100; ++i)
+        entries.push_back({9, 0, false}); // 10 instructions each
+    VectorTraceSource trace(entries);
+    h.profiler.profile(trace, 50); // only ~5 records fit
+    EXPECT_LE(h.profiler.countOf(0), 6u);
+}

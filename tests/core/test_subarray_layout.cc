@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for the asymmetric subarray layout and migration-group math.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/subarray_layout.hh"
+
+using namespace dasdram;
+
+TEST(Layout, Table1Defaults)
+{
+    DramGeometry g;
+    AsymmetricLayout l(g, {});
+    EXPECT_EQ(l.groupSize(), 32u);
+    EXPECT_EQ(l.fastSlotsPerGroup(), 4u);
+    EXPECT_DOUBLE_EQ(l.fastCapacityFraction(), 0.125);
+    EXPECT_EQ(l.groupsPerBank(), g.rowsPerBank / 32);
+    EXPECT_EQ(l.totalGroups(), l.groupsPerBank() * g.totalBanks());
+}
+
+TEST(Layout, ClassifyFollowsSlots)
+{
+    DramGeometry g;
+    AsymmetricLayout l(g, {});
+    for (std::uint64_t row = 0; row < 64; ++row) {
+        RowClass expect = (row % 32) < 4 ? RowClass::Fast : RowClass::Slow;
+        EXPECT_EQ(l.classify(0, 0, 0, row), expect) << row;
+    }
+}
+
+TEST(Layout, FastFractionOverWholeBank)
+{
+    DramGeometry g;
+    AsymmetricLayout l(g, {});
+    std::uint64_t fast = 0;
+    for (std::uint64_t row = 0; row < g.rowsPerBank; ++row)
+        fast += l.classify(0, 0, 0, row) == RowClass::Fast ? 1 : 0;
+    EXPECT_EQ(fast, g.rowsPerBank / 8);
+}
+
+class LayoutRatioSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(LayoutRatioSweep, RatioRealised)
+{
+    DramGeometry g;
+    LayoutConfig cfg;
+    cfg.fastRatioDenom = GetParam();
+    AsymmetricLayout l(g, cfg);
+    EXPECT_DOUBLE_EQ(l.fastCapacityFraction(), 1.0 / GetParam());
+    EXPECT_EQ(l.fastSlotsPerGroup(), 32u / GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, LayoutRatioSweep,
+                         ::testing::Values(4u, 8u, 16u, 32u));
+
+TEST(Layout, GroupArithmetic)
+{
+    DramGeometry g;
+    AsymmetricLayout l(g, {});
+    EXPECT_EQ(l.groupOf(0), 0u);
+    EXPECT_EQ(l.groupOf(31), 0u);
+    EXPECT_EQ(l.groupOf(32), 1u);
+    EXPECT_EQ(l.groupBaseRow(3), 96u);
+    EXPECT_EQ(l.slotOf(37), 5u);
+    EXPECT_TRUE(l.slotIsFast(3));
+    EXPECT_FALSE(l.slotIsFast(4));
+}
+
+TEST(Layout, GlobalGroupsNeverSpanBanks)
+{
+    DramGeometry g;
+    AsymmetricLayout l(g, {});
+    // Last row of bank 0 and first row of bank 1 are different groups.
+    GlobalRowId last_b0 = makeGlobalRowId(g, 0, 0, 0, g.rowsPerBank - 1);
+    GlobalRowId first_b1 = makeGlobalRowId(g, 0, 0, 1, 0);
+    EXPECT_NE(l.globalGroupOf(last_b0), l.globalGroupOf(first_b1));
+    EXPECT_EQ(first_b1 % 32, 0u);
+}
+
+TEST(LayoutDeathTest, IndivisibleGroupFatal)
+{
+    DramGeometry g;
+    LayoutConfig cfg;
+    cfg.groupSize = 24; // not divisible by 8... it is by 8; use denom 7
+    cfg.fastRatioDenom = 7;
+    EXPECT_DEATH(AsymmetricLayout(g, cfg), "not divisible");
+}

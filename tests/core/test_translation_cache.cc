@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the translation (tag) cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/translation_cache.hh"
+
+using namespace dasdram;
+
+TEST(TranslationCache, MissInsertHit)
+{
+    TranslationCache tc(1024, 8);
+    EXPECT_FALSE(tc.lookup(42));
+    tc.insert(42);
+    EXPECT_TRUE(tc.lookup(42));
+    EXPECT_EQ(tc.hits(), 1u);
+    EXPECT_EQ(tc.misses(), 1u);
+    EXPECT_DOUBLE_EQ(tc.hitRatio(), 0.5);
+}
+
+TEST(TranslationCache, CapacityInEntries)
+{
+    TranslationCache tc(128 * KiB, 8);
+    EXPECT_EQ(tc.capacityEntries(), 128u * 1024);
+}
+
+TEST(TranslationCache, InvalidateRemovesEntry)
+{
+    TranslationCache tc(1024, 8);
+    tc.insert(7);
+    EXPECT_TRUE(tc.probe(7));
+    tc.invalidate(7);
+    EXPECT_FALSE(tc.probe(7));
+    tc.invalidate(7); // idempotent
+}
+
+TEST(TranslationCache, ProbeDoesNotCount)
+{
+    TranslationCache tc(1024, 8);
+    tc.insert(5);
+    tc.probe(5);
+    tc.probe(6);
+    EXPECT_EQ(tc.hits() + tc.misses(), 0u);
+}
+
+TEST(TranslationCache, LruWithinSet)
+{
+    // Single-set cache: capacity 4, assoc 4.
+    TranslationCache tc(4, 4);
+    // These all land in the one set regardless of hash.
+    tc.insert(1);
+    tc.insert(2);
+    tc.insert(3);
+    tc.insert(4);
+    tc.lookup(1); // refresh 1 → 2 is LRU
+    tc.insert(5); // evicts 2
+    EXPECT_TRUE(tc.probe(1));
+    EXPECT_FALSE(tc.probe(2));
+    EXPECT_TRUE(tc.probe(5));
+}
+
+TEST(TranslationCache, WorkingSetLargerThanCapacityThrashes)
+{
+    TranslationCache tc(64, 8);
+    for (GlobalRowId r = 0; r < 1000; ++r)
+        tc.insert(r);
+    int resident = 0;
+    for (GlobalRowId r = 0; r < 1000; ++r)
+        resident += tc.probe(r) ? 1 : 0;
+    EXPECT_LE(resident, 64);
+    EXPECT_GT(resident, 0);
+}
+
+TEST(TranslationCache, InsertExistingRefreshes)
+{
+    TranslationCache tc(4, 4);
+    tc.insert(1);
+    tc.insert(2);
+    tc.insert(3);
+    tc.insert(4);
+    tc.insert(1); // refresh, no eviction
+    EXPECT_TRUE(tc.probe(2));
+    tc.insert(9); // evicts LRU = 2
+    EXPECT_FALSE(tc.probe(2));
+}
+
+TEST(TranslationCacheDeathTest, BadGeometryFatal)
+{
+    EXPECT_DEATH(TranslationCache(100, 8), "multiple of assoc");
+}

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the migration-group-restricted translation table,
+ * including permutation invariants under random swap sequences.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.hh"
+#include "core/translation_table.hh"
+
+using namespace dasdram;
+
+namespace
+{
+
+DramGeometry
+smallGeom()
+{
+    DramGeometry g;
+    g.channels = 1;
+    g.ranksPerChannel = 1;
+    g.banksPerRank = 2;
+    g.rowsPerBank = 128;
+    return g;
+}
+
+} // namespace
+
+TEST(TranslationTable, IdentityAtReset)
+{
+    DramGeometry g = smallGeom();
+    AsymmetricLayout l(g, {});
+    TranslationTable t(l);
+    for (GlobalRowId r = 0; r < g.totalRows(); ++r) {
+        EXPECT_EQ(t.physicalOf(r), r);
+        EXPECT_EQ(t.logicalOf(r), r);
+    }
+    // Initially the fast rows are exactly the fast slots.
+    EXPECT_TRUE(t.isFast(0));
+    EXPECT_TRUE(t.isFast(3));
+    EXPECT_FALSE(t.isFast(4));
+}
+
+TEST(TranslationTable, SwapMovesBothDirections)
+{
+    DramGeometry g = smallGeom();
+    AsymmetricLayout l(g, {});
+    TranslationTable t(l);
+    t.swap(0, 10); // logical 0 (fast slot) ↔ logical 10 (slow slot)
+    EXPECT_EQ(t.physicalOf(10), 0u);
+    EXPECT_EQ(t.physicalOf(0), 10u);
+    EXPECT_EQ(t.logicalOf(0), 10u);
+    EXPECT_EQ(t.logicalOf(10), 0u);
+    EXPECT_TRUE(t.isFast(10));
+    EXPECT_FALSE(t.isFast(0));
+    EXPECT_EQ(t.swapCount(), 1u);
+}
+
+TEST(TranslationTable, SelfSwapIsNoop)
+{
+    DramGeometry g = smallGeom();
+    AsymmetricLayout l(g, {});
+    TranslationTable t(l);
+    t.swap(5, 5);
+    EXPECT_EQ(t.physicalOf(5), 5u);
+    EXPECT_EQ(t.swapCount(), 0u);
+}
+
+TEST(TranslationTable, FastSlotOccupants)
+{
+    DramGeometry g = smallGeom();
+    AsymmetricLayout l(g, {});
+    TranslationTable t(l);
+    EXPECT_EQ(t.logicalInFastSlot(0, 0), 0u);
+    t.swap(9, 0);
+    EXPECT_EQ(t.logicalInFastSlot(0, 0), 9u);
+    // Group 1 (rows 32..63) unaffected.
+    EXPECT_EQ(t.logicalInFastSlot(1, 0), 32u);
+}
+
+TEST(TranslationTable, RandomSwapsPreservePermutation)
+{
+    // Property: after arbitrary in-group swaps, logical↔physical remain
+    // inverse bijections and physical rows of a group stay in-group.
+    DramGeometry g = smallGeom();
+    AsymmetricLayout l(g, {});
+    TranslationTable t(l);
+    Rng rng(17);
+    const std::uint64_t groups = l.totalGroups();
+    for (int i = 0; i < 5000; ++i) {
+        std::uint64_t grp = rng.nextBelow(groups);
+        GlobalRowId a = grp * 32 + rng.nextBelow(32);
+        GlobalRowId b = grp * 32 + rng.nextBelow(32);
+        t.swap(a, b);
+    }
+    std::set<GlobalRowId> seen;
+    for (GlobalRowId r = 0; r < g.totalRows(); ++r) {
+        GlobalRowId p = t.physicalOf(r);
+        EXPECT_EQ(t.logicalOf(p), r);
+        EXPECT_EQ(p / 32, r / 32); // stays within the migration group
+        seen.insert(p);
+    }
+    EXPECT_EQ(seen.size(), g.totalRows()); // bijection
+}
+
+TEST(TranslationTable, FastCountInvariantPerGroup)
+{
+    DramGeometry g = smallGeom();
+    AsymmetricLayout l(g, {});
+    TranslationTable t(l);
+    Rng rng(23);
+    for (int i = 0; i < 1000; ++i) {
+        std::uint64_t grp = rng.nextBelow(l.totalGroups());
+        t.swap(grp * 32 + rng.nextBelow(32),
+               grp * 32 + rng.nextBelow(32));
+    }
+    for (std::uint64_t grp = 0; grp < l.totalGroups(); ++grp) {
+        unsigned fast = 0;
+        for (unsigned s = 0; s < 32; ++s)
+            fast += t.isFast(grp * 32 + s) ? 1 : 0;
+        EXPECT_EQ(fast, l.fastSlotsPerGroup());
+    }
+}
+
+TEST(TranslationTable, EntryAddressLayout)
+{
+    EXPECT_EQ(TranslationTable::entryAddr(0x1000, 0), 0x1000u);
+    EXPECT_EQ(TranslationTable::entryAddr(0x1000, 255), 0x10FFu);
+}
+
+TEST(TranslationTable, ResetRestoresIdentity)
+{
+    DramGeometry g = smallGeom();
+    AsymmetricLayout l(g, {});
+    TranslationTable t(l);
+    t.swap(0, 20);
+    t.reset();
+    EXPECT_EQ(t.physicalOf(20), 20u);
+    EXPECT_EQ(t.swapCount(), 0u);
+}
+
+TEST(TranslationTableDeathTest, CrossGroupSwapPanics)
+{
+    DramGeometry g = smallGeom();
+    AsymmetricLayout l(g, {});
+    TranslationTable t(l);
+    EXPECT_DEATH(t.swap(0, 40), "across migration groups");
+}

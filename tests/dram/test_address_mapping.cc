@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit and property tests for the address mapper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "dram/address_mapping.hh"
+
+using namespace dasdram;
+
+class MappingRoundTrip : public ::testing::TestWithParam<MappingScheme>
+{
+};
+
+TEST_P(MappingRoundTrip, EncodeDecodeIdentity)
+{
+    DramGeometry g;
+    AddressMapper m(g, GetParam());
+    for (Addr a : {Addr{0}, Addr{64}, Addr{8192}, Addr{123456 * 64},
+                   Addr{g.capacityBytes() - 64}}) {
+        DramLoc loc = m.decode(a);
+        EXPECT_EQ(m.encode(loc), a) << "addr " << a;
+    }
+}
+
+TEST_P(MappingRoundTrip, FieldsWithinBounds)
+{
+    DramGeometry g;
+    AddressMapper m(g, GetParam());
+    for (Addr a = 0; a < 64 * MiB; a += 64 * 1021) { // odd stride
+        DramLoc loc = m.decode(a);
+        EXPECT_LT(loc.channel, g.channels);
+        EXPECT_LT(loc.rank, g.ranksPerChannel);
+        EXPECT_LT(loc.bank, g.banksPerRank);
+        EXPECT_LT(loc.row, g.rowsPerBank);
+        EXPECT_LT(loc.column, g.linesPerRow());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, MappingRoundTrip,
+                         ::testing::Values(MappingScheme::RoRaBaChCo,
+                                           MappingScheme::RoBaRaChCo,
+                                           MappingScheme::ChRaBaRoCo));
+
+TEST(AddressMapper, ContiguousRowIsOneDramRow)
+{
+    // With RoRaBaChCo, one 8 KB-aligned block maps to a single row of a
+    // single bank — the property row-level migration relies on.
+    DramGeometry g;
+    AddressMapper m(g, MappingScheme::RoRaBaChCo);
+    DramLoc first = m.decode(0);
+    for (Addr a = 0; a < g.rowBytes; a += g.lineBytes) {
+        DramLoc loc = m.decode(a);
+        EXPECT_TRUE(loc.sameRow(first));
+        EXPECT_EQ(loc.column, a / g.lineBytes);
+    }
+    // The next 8 KB block goes to a different channel (interleaving).
+    DramLoc next = m.decode(g.rowBytes);
+    EXPECT_NE(next.channel, first.channel);
+}
+
+TEST(AddressMapper, RowStrideCoversAllBanksBeforeNextRow)
+{
+    DramGeometry g;
+    AddressMapper m(g, MappingScheme::RoRaBaChCo);
+    std::set<std::tuple<unsigned, unsigned, unsigned>> banks;
+    Addr stride = g.rowBytes;
+    Addr blocks_per_row_sweep = static_cast<Addr>(g.channels) *
+                                g.ranksPerChannel * g.banksPerRank;
+    for (Addr i = 0; i < blocks_per_row_sweep; ++i) {
+        DramLoc loc = m.decode(i * stride);
+        EXPECT_EQ(loc.row, 0u);
+        banks.insert({loc.channel, loc.rank, loc.bank});
+    }
+    EXPECT_EQ(banks.size(), blocks_per_row_sweep);
+    EXPECT_EQ(m.decode(blocks_per_row_sweep * stride).row, 1u);
+}
+
+TEST(AddressMapper, ChannelBalanceUnderStreaming)
+{
+    DramGeometry g;
+    AddressMapper m(g);
+    std::vector<int> per_channel(g.channels, 0);
+    for (Addr a = 0; a < 16 * MiB; a += 64)
+        ++per_channel[m.decode(a).channel];
+    EXPECT_EQ(per_channel[0], per_channel[1]);
+}

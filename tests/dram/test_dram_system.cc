@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the multi-channel DRAM system wrapper: routing, clock
+ * domain conversion, forwarding and energy accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dram/dram_system.hh"
+
+using namespace dasdram;
+
+namespace
+{
+
+struct SystemHarness
+{
+    SystemHarness()
+        : timing(ddr3_1600Timing()), classifier(RowClass::Slow),
+          dram(geom, timing, classifier)
+    {
+    }
+
+    Cycle
+    readLine(Addr addr, Cycle start = 0)
+    {
+        Cycle done = kCycleMax;
+        auto req = std::make_unique<MemRequest>(addr, false, 0);
+        req->loc = dram.decode(addr);
+        req->onComplete = [&done](MemRequest &, Cycle at) { done = at; };
+        dram.submit(std::move(req), start);
+        for (Cycle t = start; t < start + 200000 && done == kCycleMax;
+             t += kMemTick) {
+            dram.tick(t);
+        }
+        return done;
+    }
+
+    DramGeometry geom;
+    DramTiming timing;
+    UniformRowClassifier classifier;
+    DramSystem dram;
+};
+
+} // namespace
+
+TEST(DramSystem, CompletionReportedInTicks)
+{
+    SystemHarness h;
+    Cycle done = h.readLine(0x10000);
+    ASSERT_NE(done, kCycleMax);
+    EXPECT_EQ(done % kMemTick, 0u); // mem-cycle aligned
+    // Roughly tRCD + tCL + tBL memory cycles.
+    Cycle expect_mem =
+        h.timing.slow.tRCD + h.timing.slow.tCL + h.timing.tBL;
+    EXPECT_NEAR(static_cast<double>(done) / kMemTick,
+                static_cast<double>(expect_mem), 4.0);
+}
+
+TEST(DramSystem, RoutesToCorrectChannel)
+{
+    SystemHarness h;
+    // Find two addresses in different channels.
+    Addr a0 = 0;
+    Addr a1 = h.geom.rowBytes; // next 8 KB block → other channel
+    ASSERT_NE(h.dram.decode(a0).channel, h.dram.decode(a1).channel);
+    h.readLine(a0);
+    h.readLine(a1, 100000 * kMemTick);
+    EXPECT_EQ(h.dram.channel(0).readCount() +
+                  h.dram.channel(1).readCount(),
+              2u);
+    EXPECT_EQ(h.dram.channel(0).readCount(), 1u);
+}
+
+TEST(DramSystem, WriteForwardingServesReadQuickly)
+{
+    SystemHarness h;
+    Addr addr = 0x40000;
+    auto wr = std::make_unique<MemRequest>(addr, true, 0);
+    wr->loc = h.dram.decode(addr);
+    h.dram.submit(std::move(wr), 0);
+
+    Cycle done = kCycleMax;
+    auto rd = std::make_unique<MemRequest>(addr, false, 0);
+    rd->loc = h.dram.decode(addr);
+    rd->onComplete = [&done](MemRequest &r, Cycle at) {
+        done = at;
+        EXPECT_EQ(r.location, ServiceLocation::RowBuffer);
+    };
+    h.dram.submit(std::move(rd), 0);
+    // Forwarded synchronously: done already set without any tick.
+    ASSERT_NE(done, kCycleMax);
+    EXPECT_LE(done / kMemTick,
+              h.timing.slow.tCL + h.timing.tBL + 1);
+}
+
+TEST(DramSystem, BusyReflectsOutstandingWork)
+{
+    SystemHarness h;
+    EXPECT_FALSE(h.dram.busy());
+    auto req = std::make_unique<MemRequest>(0x1000, false, 0);
+    req->loc = h.dram.decode(0x1000);
+    h.dram.submit(std::move(req), 0);
+    EXPECT_TRUE(h.dram.busy());
+}
+
+TEST(DramSystem, NextWakeTickAdvancesWhenIdle)
+{
+    SystemHarness h;
+    // Idle system: next wake is the first refresh.
+    Cycle wake = h.dram.nextWakeTick(0);
+    EXPECT_EQ(wake, h.timing.tREFI * kMemTick);
+}
+
+TEST(DramSystem, EnergyBreakdownCountsOperations)
+{
+    SystemHarness h;
+    h.readLine(0x2000);
+    EnergyBreakdown e = h.dram.energyBreakdown();
+    EXPECT_EQ(e.reads, 1u);
+    EXPECT_EQ(e.actsSlow, 1u);
+    EXPECT_EQ(e.actsFast, 0u);
+    EnergyParams p;
+    EXPECT_GT(e.totalNj(p), 0.0);
+    EXPECT_GT(e.perAccessNj(p), 0.0);
+}
+
+TEST(DramSystem, MigrationApiCompletesInTicks)
+{
+    SystemHarness h;
+    Cycle done = 0;
+    h.dram.startMigration(0, 0, 0, 3, 9, true, 0, 32,
+                          [&done](Cycle at) { done = at; });
+    for (Cycle t = 0; t < 100000 && done == 0; t += kMemTick)
+        h.dram.tick(t);
+    ASSERT_GT(done, 0u);
+    EXPECT_GE(done / kMemTick, h.timing.swapCycles);
+}
+
+TEST(EnergyModel, FastActivationCheaper)
+{
+    EnergyParams p;
+    EnergyBreakdown slow{1000, 0, 1000, 0, 0, 0};
+    EnergyBreakdown fast{0, 1000, 1000, 0, 0, 0};
+    EXPECT_LT(fast.totalNj(p), slow.totalNj(p));
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Unit tests for DRAM geometry and global row ids.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dram/geometry.hh"
+
+using namespace dasdram;
+
+TEST(Geometry, Table1Defaults)
+{
+    DramGeometry g;
+    EXPECT_EQ(g.capacityBytes(), 8 * GiB);
+    EXPECT_EQ(g.totalRows(), 1024ULL * 1024);
+    EXPECT_EQ(g.totalBanks(), 32u);
+    EXPECT_EQ(g.linesPerRow(), 128u);
+    EXPECT_TRUE(g.valid());
+}
+
+TEST(Geometry, InvalidWhenNotPowerOfTwo)
+{
+    DramGeometry g;
+    g.rowsPerBank = 1000; // not a power of two
+    EXPECT_FALSE(g.valid());
+}
+
+TEST(GlobalRowId, RoundTrip)
+{
+    DramGeometry g;
+    for (unsigned ch = 0; ch < g.channels; ++ch) {
+        for (unsigned ra = 0; ra < g.ranksPerChannel; ++ra) {
+            for (unsigned ba = 0; ba < g.banksPerRank; ba += 3) {
+                for (std::uint64_t row : {0ULL, 1ULL, 31ULL, 32767ULL}) {
+                    GlobalRowId id = makeGlobalRowId(g, ch, ra, ba, row);
+                    DramLoc loc = decodeGlobalRowId(g, id);
+                    EXPECT_EQ(loc.channel, ch);
+                    EXPECT_EQ(loc.rank, ra);
+                    EXPECT_EQ(loc.bank, ba);
+                    EXPECT_EQ(loc.row, row);
+                }
+            }
+        }
+    }
+}
+
+TEST(GlobalRowId, DenseAndUnique)
+{
+    DramGeometry g;
+    g.rowsPerBank = 8;
+    g.channels = 2;
+    g.ranksPerChannel = 2;
+    g.banksPerRank = 2;
+    std::set<GlobalRowId> seen;
+    for (unsigned ch = 0; ch < 2; ++ch)
+        for (unsigned ra = 0; ra < 2; ++ra)
+            for (unsigned ba = 0; ba < 2; ++ba)
+                for (std::uint64_t row = 0; row < 8; ++row)
+                    seen.insert(makeGlobalRowId(g, ch, ra, ba, row));
+    EXPECT_EQ(seen.size(), 2u * 2 * 2 * 8);
+    EXPECT_EQ(*seen.rbegin(), 2u * 2 * 2 * 8 - 1); // dense 0..N-1
+}
+
+TEST(DramLoc, SameBankAndRow)
+{
+    DramLoc a{0, 1, 2, 10, 3};
+    DramLoc b{0, 1, 2, 10, 7};
+    DramLoc c{0, 1, 2, 11, 3};
+    DramLoc d{1, 1, 2, 10, 3};
+    EXPECT_TRUE(a.sameBank(b));
+    EXPECT_TRUE(a.sameRow(b));
+    EXPECT_TRUE(a.sameBank(c));
+    EXPECT_FALSE(a.sameRow(c));
+    EXPECT_FALSE(a.sameBank(d));
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the experiment driver: workload construction, baseline
+ * caching and improvement arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+
+using namespace dasdram;
+
+namespace
+{
+
+SimConfig
+quickConfig()
+{
+    SimConfig cfg;
+    cfg.instructionsPerCore = 120'000;
+    return cfg;
+}
+
+} // namespace
+
+TEST(WorkloadSpec, SingleAndMix)
+{
+    WorkloadSpec s = WorkloadSpec::single("mcf");
+    EXPECT_EQ(s.name, "mcf");
+    ASSERT_EQ(s.benchmarks.size(), 1u);
+    WorkloadSpec m = WorkloadSpec::mix(0);
+    EXPECT_EQ(m.name, "M1");
+    EXPECT_EQ(m.benchmarks.size(), 4u);
+    EXPECT_DEATH(WorkloadSpec::mix(8), "out of range");
+}
+
+TEST(ExperimentRunner, StandardBaselineHasZeroImprovement)
+{
+    ExperimentRunner runner(quickConfig());
+    ExperimentResult r =
+        runner.run(WorkloadSpec::single("omnetpp"), DesignKind::Standard);
+    EXPECT_NEAR(r.perfImprovement, 0.0, 1e-9);
+    EXPECT_GT(r.energyPerAccessNj, 0.0);
+}
+
+TEST(ExperimentRunner, FsImprovementPositive)
+{
+    ExperimentRunner runner(quickConfig());
+    ExperimentResult r =
+        runner.run(WorkloadSpec::single("omnetpp"), DesignKind::Fs);
+    EXPECT_GT(r.perfImprovement, 0.0);
+}
+
+TEST(ExperimentRunner, GmeanImprovement)
+{
+    EXPECT_NEAR(ExperimentRunner::gmeanImprovement({0.1, 0.1}), 0.1,
+                1e-9);
+    EXPECT_NEAR(ExperimentRunner::gmeanImprovement({}), 0.0, 1e-12);
+    // gmean of (1.21, 1.0) = 1.1.
+    EXPECT_NEAR(ExperimentRunner::gmeanImprovement({0.21, 0.0}), 0.1,
+                1e-3);
+}
+
+TEST(ExperimentRunner, StaticDesignGetsProfiledTable)
+{
+    // A SAS run must complete and produce sane metrics (the profiling
+    // pass runs inside runRaw).
+    ExperimentRunner runner(quickConfig());
+    ExperimentResult r =
+        runner.run(WorkloadSpec::single("omnetpp"), DesignKind::Sas);
+    EXPECT_GT(r.metrics.ipc[0], 0.0);
+    EXPECT_EQ(r.metrics.promotions, 0u); // static never migrates
+}
+
+TEST(ExperimentRunner, ResultsDeterministicAcrossRunners)
+{
+    ExperimentRunner a(quickConfig()), b(quickConfig());
+    ExperimentResult ra =
+        a.run(WorkloadSpec::single("mcf"), DesignKind::Das);
+    ExperimentResult rb =
+        b.run(WorkloadSpec::single("mcf"), DesignKind::Das);
+    EXPECT_DOUBLE_EQ(ra.metrics.ipc[0], rb.metrics.ipc[0]);
+    EXPECT_EQ(ra.metrics.promotions, rb.metrics.promotions);
+}
+
+TEST(RunMetrics, DerivedQuantities)
+{
+    RunMetrics m;
+    m.instructions = 1'000'000;
+    m.llcMisses = 20'000;
+    m.promotions = 400;
+    m.memAccesses = 25'000;
+    m.footprintRows = 1024;
+    EXPECT_DOUBLE_EQ(m.mpki(), 20.0);
+    EXPECT_DOUBLE_EQ(m.ppkm(), 20.0);
+    EXPECT_DOUBLE_EQ(m.promotionsPerAccess(), 0.016);
+    EXPECT_DOUBLE_EQ(m.footprintMiB(8192), 8.0);
+}
+
+TEST(RunMetrics, ZeroSafe)
+{
+    RunMetrics m;
+    EXPECT_DOUBLE_EQ(m.mpki(), 0.0);
+    EXPECT_DOUBLE_EQ(m.ppkm(), 0.0);
+    EXPECT_DOUBLE_EQ(m.promotionsPerAccess(), 0.0);
+}

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tests for the synthetic trace generator: determinism, address bounds,
+ * calibration properties (memory ratio, write fraction, locality).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "workload/spec_profiles.hh"
+#include "workload/synth_trace.hh"
+
+using namespace dasdram;
+
+TEST(SynthTrace, DeterministicForSameSeed)
+{
+    const BenchmarkProfile &p = specProfile("mcf");
+    SyntheticTrace a(p, 99), b(p, 99);
+    TraceEntry ea, eb;
+    for (int i = 0; i < 5000; ++i) {
+        ASSERT_TRUE(a.next(ea));
+        ASSERT_TRUE(b.next(eb));
+        ASSERT_EQ(ea.addr, eb.addr);
+        ASSERT_EQ(ea.gap, eb.gap);
+        ASSERT_EQ(ea.isWrite, eb.isWrite);
+    }
+}
+
+TEST(SynthTrace, ResetReproducesStream)
+{
+    const BenchmarkProfile &p = specProfile("omnetpp");
+    SyntheticTrace t(p, 5);
+    std::vector<Addr> first;
+    TraceEntry e;
+    for (int i = 0; i < 1000; ++i) {
+        t.next(e);
+        first.push_back(e.addr);
+    }
+    t.reset();
+    for (int i = 0; i < 1000; ++i) {
+        t.next(e);
+        ASSERT_EQ(e.addr, first[i]) << "at " << i;
+    }
+}
+
+TEST(SynthTrace, DifferentSeedsDiffer)
+{
+    const BenchmarkProfile &p = specProfile("mcf");
+    SyntheticTrace a(p, 1), b(p, 2);
+    TraceEntry ea, eb;
+    int same = 0;
+    for (int i = 0; i < 1000; ++i) {
+        a.next(ea);
+        b.next(eb);
+        same += (ea.addr == eb.addr) ? 1 : 0;
+    }
+    EXPECT_LT(same, 100);
+}
+
+class TraceProfileSweep : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(TraceProfileSweep, AddressesWithinFootprint)
+{
+    const BenchmarkProfile &p = specProfile(GetParam());
+    SyntheticTrace t(p, 3);
+    Addr limit = static_cast<Addr>(p.footprintMiB * MiB);
+    TraceEntry e;
+    for (int i = 0; i < 20000; ++i) {
+        t.next(e);
+        ASSERT_LT(e.addr, limit);
+    }
+}
+
+TEST_P(TraceProfileSweep, MemRatioMatchesProfile)
+{
+    const BenchmarkProfile &p = specProfile(GetParam());
+    SyntheticTrace t(p, 3);
+    TraceEntry e;
+    std::uint64_t mem = 0, inst = 0;
+    for (int i = 0; i < 50000; ++i) {
+        t.next(e);
+        ++mem;
+        inst += e.gap + 1;
+    }
+    double ratio = static_cast<double>(mem) / static_cast<double>(inst);
+    EXPECT_NEAR(ratio, p.memRatio, 0.05 * p.memRatio + 0.01);
+}
+
+TEST_P(TraceProfileSweep, WriteFractionMatchesProfile)
+{
+    const BenchmarkProfile &p = specProfile(GetParam());
+    SyntheticTrace t(p, 3);
+    TraceEntry e;
+    int writes = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        t.next(e);
+        writes += e.isWrite ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(writes) / n, p.writeFraction, 0.02);
+}
+
+TEST_P(TraceProfileSweep, ShortTermReuseVisible)
+{
+    // With reuseProb ~0.9+, a large share of accesses repeat one of the
+    // recent lines.
+    const BenchmarkProfile &p = specProfile(GetParam());
+    SyntheticTrace t(p, 3);
+    TraceEntry e;
+    std::vector<Addr> recent;
+    int reuse_hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        t.next(e);
+        Addr line = e.addr / 64;
+        for (Addr r : recent)
+            if (r == line) {
+                ++reuse_hits;
+                break;
+            }
+        recent.push_back(line);
+        if (recent.size() > 16)
+            recent.erase(recent.begin());
+    }
+    EXPECT_GT(static_cast<double>(reuse_hits) / n, p.reuseProb * 0.7);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, TraceProfileSweep,
+                         ::testing::ValuesIn(specBenchmarks()));
+
+TEST(SynthTrace, WorkingSetConcentration)
+{
+    // Accesses concentrate on a resident working set far smaller than
+    // the footprint — the property dynamic migration exploits.
+    const BenchmarkProfile &p = specProfile("mcf");
+    SyntheticTrace t(p, 7);
+    TraceEntry e;
+    std::unordered_map<std::uint64_t, int> page_counts;
+    const int n = 300000;
+    for (int i = 0; i < n; ++i) {
+        t.next(e);
+        ++page_counts[e.addr / 8192];
+    }
+    double footprint_pages = p.footprintMiB * MiB / 8192.0;
+    EXPECT_LT(static_cast<double>(page_counts.size()),
+              0.3 * footprint_pages);
+    EXPECT_GT(static_cast<double>(n) /
+                  static_cast<double>(page_counts.size()),
+              5.0); // mean accesses per touched page
+}
+
+TEST(SynthTrace, PhaseAdvancesWithInstructions)
+{
+    BenchmarkProfile p = specProfile("milc");
+    p.phaseInstructions = 10000;
+    SyntheticTrace t(p, 11);
+    TraceEntry e;
+    while (t.generatedInstructions() < 100000)
+        t.next(e);
+    EXPECT_GE(t.phaseCount(), 5u);
+}
+
+TEST(SynthTrace, MixValidationIsFatal)
+{
+    BenchmarkProfile p = specProfile("mcf");
+    p.pStream = 0.9; // breaks the sum
+    EXPECT_DEATH(SyntheticTrace(p, 1), "must sum to 1");
+}
+
+TEST(SpecProfiles, TableTwoContents)
+{
+    EXPECT_EQ(specBenchmarks().size(), 10u);
+    EXPECT_EQ(specMixes().size(), 8u);
+    for (const auto &mix : specMixes()) {
+        EXPECT_EQ(mix.size(), 4u);
+        for (const auto &b : mix)
+            EXPECT_NO_FATAL_FAILURE(specProfile(b));
+    }
+    // Spot-check Table 2's M8 = lbm, libquantum, mcf, soplex.
+    const auto &m8 = specMixes()[7];
+    EXPECT_EQ(m8[0], "lbm");
+    EXPECT_EQ(m8[1], "libquantum");
+    EXPECT_EQ(m8[2], "mcf");
+    EXPECT_EQ(m8[3], "soplex");
+    EXPECT_EQ(mixName(7), "M8");
+}
+
+TEST(SpecProfiles, UnknownNameIsFatal)
+{
+    EXPECT_DEATH(specProfile("nonexistent"), "unknown");
+}
+
+TEST(SpecProfiles, DensityBudgetRespectsFastLevel)
+{
+    // Simultaneously-hot rows per migration group (ring + hot set) must
+    // stay near or below the 4 fast slots of a 32-row group at ratio
+    // 1/8 — the calibration invariant behind Figure 7.
+    for (const std::string &name : specBenchmarks()) {
+        const BenchmarkProfile &p = specProfile(name);
+        double active = std::min(
+            p.footprintMiB * MiB / 8192.0,
+            p.activeRegionFactor *
+                static_cast<double>(p.workingSetPages));
+        double density =
+            32.0 *
+            (static_cast<double>(p.workingSetPages) +
+             p.hotFraction * active) /
+            active;
+        EXPECT_LE(density, 4.6) << name;
+    }
+}

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * dasdram_run — command-line front-end for the simulator.
+ *
+ * Runs any workload (a Table 2 benchmark, a mix M1-M8, or a
+ * comma-separated list of benchmarks, one per core) on any DRAM design
+ * with arbitrary configuration overrides, and reports either a
+ * human-readable summary, a full statistics dump, or a CSV row for
+ * scripting.
+ *
+ * Usage:
+ *   dasdram_run [options]
+ *     --workload <name|M1..M8|b1,b2,...>   (default: mcf)
+ *     --design <standard|sas|charm|das|das-fm|fs>  (default: das)
+ *     --instructions <N per core>          (default: 4000000)
+ *     --baseline                           also run standard DRAM and
+ *                                          report the improvement
+ *     --stats                              dump the full stats tree
+ *     --csv                                one CSV row to stdout
+ *     --seed <N>                           workload seed
+ *     --set key=value                      config override, repeatable:
+ *         das.threshold, das.tcBytes, das.replacement, das.exclusive,
+ *         layout.groupSize, layout.fastRatioDenom, sim.warmup
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/log.hh"
+#include "sim/experiment.hh"
+
+using namespace dasdram;
+
+namespace
+{
+
+WorkloadSpec
+parseWorkload(const std::string &name)
+{
+    if (name.size() == 2 && name[0] == 'M' && name[1] >= '1' &&
+        name[1] <= '8') {
+        return WorkloadSpec::mix(static_cast<std::size_t>(name[1] - '1'));
+    }
+    if (name.find(',') == std::string::npos)
+        return WorkloadSpec::single(name);
+    WorkloadSpec w;
+    w.name = name;
+    std::size_t pos = 0;
+    while (pos != std::string::npos) {
+        std::size_t comma = name.find(',', pos);
+        std::string bench =
+            comma == std::string::npos
+                ? name.substr(pos)
+                : name.substr(pos, comma - pos);
+        if (!bench.empty())
+            w.benchmarks.push_back(bench);
+        pos = comma == std::string::npos ? comma : comma + 1;
+    }
+    if (w.benchmarks.empty())
+        fatal("empty workload list '{}'", name);
+    return w;
+}
+
+void
+applyOverrides(SimConfig &cfg, const Config &overrides)
+{
+    cfg.das.promotion.threshold = static_cast<unsigned>(
+        overrides.getUInt("das.threshold",
+                          cfg.das.promotion.threshold));
+    cfg.das.translationCacheBytes = overrides.getUInt(
+        "das.tcBytes", cfg.das.translationCacheBytes);
+    if (overrides.has("das.replacement")) {
+        cfg.das.replacement = parseFastReplPolicy(
+            overrides.getString("das.replacement", "lru"));
+    }
+    cfg.das.exclusiveCache =
+        overrides.getBool("das.exclusive", cfg.das.exclusiveCache);
+    cfg.layout.groupSize = static_cast<unsigned>(
+        overrides.getUInt("layout.groupSize", cfg.layout.groupSize));
+    cfg.layout.fastRatioDenom = static_cast<unsigned>(overrides.getUInt(
+        "layout.fastRatioDenom", cfg.layout.fastRatioDenom));
+    cfg.warmupFraction =
+        overrides.getDouble("sim.warmup", cfg.warmupFraction);
+}
+
+void
+printSummary(const WorkloadSpec &w, const ExperimentResult &r,
+             bool with_baseline, const DramGeometry &geom)
+{
+    const RunMetrics &m = r.metrics;
+    std::printf("workload  : %s\n", w.name.c_str());
+    std::printf("design    : %s\n", toString(r.design).c_str());
+    for (std::size_t i = 0; i < m.ipc.size(); ++i) {
+        std::printf("ipc[%zu]    : %.4f  (%s)\n", i, m.ipc[i],
+                    w.benchmarks[i].c_str());
+    }
+    if (with_baseline)
+        std::printf("speedup   : %+.2f%% vs standard DRAM\n",
+                    100.0 * r.perfImprovement);
+    std::printf("mpki      : %.2f\n", m.mpki());
+    std::printf("ppkm      : %.2f\n", m.ppkm());
+    std::printf("footprint : %.1f MiB\n",
+                m.footprintMiB(geom.rowBytes));
+    std::uint64_t total = m.locations.total();
+    if (total) {
+        auto pc = [total](std::uint64_t v) {
+            return 100.0 * static_cast<double>(v) /
+                   static_cast<double>(total);
+        };
+        std::printf("locations : row-buffer %.1f%% fast %.1f%% "
+                    "slow %.1f%%\n",
+                    pc(m.locations.rowBuffer), pc(m.locations.fastLevel),
+                    pc(m.locations.slowLevel));
+    }
+    std::printf("promotions: %llu\n",
+                static_cast<unsigned long long>(m.promotions));
+    std::printf("energy/acc: %.2f nJ\n", r.energyPerAccessNj);
+}
+
+void
+printCsv(const WorkloadSpec &w, const ExperimentResult &r,
+         const DramGeometry &geom)
+{
+    const RunMetrics &m = r.metrics;
+    double mean_ipc = 0;
+    for (double v : m.ipc)
+        mean_ipc += v;
+    mean_ipc /= static_cast<double>(m.ipc.size());
+    std::printf("%s,%s,%.6f,%.6f,%.3f,%.3f,%.1f,%llu,%.3f\n",
+                w.name.c_str(), toString(r.design).c_str(), mean_ipc,
+                r.perfImprovement, m.mpki(), m.ppkm(),
+                m.footprintMiB(geom.rowBytes),
+                static_cast<unsigned long long>(m.promotions),
+                r.energyPerAccessNj);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload = "mcf";
+    std::string design = "das";
+    InstCount instructions = 4'000'000;
+    bool with_baseline = false;
+    bool dump_stats = false;
+    bool csv = false;
+    std::uint64_t seed = 42;
+    Config overrides;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto need_value = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for {}", flag);
+            return argv[++i];
+        };
+        if (arg == "--workload") {
+            workload = need_value("--workload");
+        } else if (arg == "--design") {
+            design = need_value("--design");
+        } else if (arg == "--instructions") {
+            instructions = std::strtoull(
+                need_value("--instructions").c_str(), nullptr, 0);
+        } else if (arg == "--seed") {
+            seed = std::strtoull(need_value("--seed").c_str(), nullptr,
+                                 0);
+        } else if (arg == "--baseline") {
+            with_baseline = true;
+        } else if (arg == "--stats") {
+            dump_stats = true;
+        } else if (arg == "--csv") {
+            csv = true;
+        } else if (arg == "--set") {
+            if (!overrides.applyOverride(need_value("--set")))
+                fatal("malformed --set argument (need key=value)");
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("see the header of tools/dasdram_run.cc\n");
+            return 0;
+        } else {
+            fatal("unknown argument '{}'", arg);
+        }
+    }
+
+    SimConfig cfg;
+    cfg.instructionsPerCore = instructions;
+    cfg.seed = seed;
+    applySimScale(cfg);
+    applyOverrides(cfg, overrides);
+
+    WorkloadSpec w = parseWorkload(workload);
+    DesignKind kind = parseDesign(design);
+
+    ExperimentRunner runner(cfg);
+    ExperimentResult r;
+    if (with_baseline || csv) {
+        r = runner.run(w, kind); // runs + caches the baseline
+    } else {
+        cfg.design = kind;
+        r.workload = w.name;
+        r.design = kind;
+        r.metrics = runner.runRaw(w, cfg);
+        EnergyParams ep;
+        r.energyPerAccessNj = r.metrics.energy.perAccessNj(ep);
+    }
+
+    if (csv) {
+        printCsv(w, r, cfg.geom);
+    } else {
+        printSummary(w, r, with_baseline || csv, cfg.geom);
+    }
+
+    if (dump_stats) {
+        // Re-run with direct System access for the stats tree.
+        SimConfig scfg = cfg;
+        scfg.design = kind;
+        scfg.numCores = static_cast<unsigned>(w.benchmarks.size());
+        std::vector<std::unique_ptr<SyntheticTrace>> traces;
+        std::vector<TraceSource *> ptrs;
+        for (unsigned i = 0; i < scfg.numCores; ++i) {
+            traces.push_back(std::make_unique<SyntheticTrace>(
+                specProfile(w.benchmarks[i]),
+                scfg.seed * 1000003 + i * 7919 + 1, scfg.geom.rowBytes,
+                scfg.geom.lineBytes));
+            ptrs.push_back(traces.back().get());
+        }
+        System sys(scfg, ptrs);
+        sys.run();
+        sys.dumpStats(std::cout);
+    }
+    return 0;
+}
