@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_inclusive.dir/ablation_inclusive.cc.o"
+  "CMakeFiles/ablation_inclusive.dir/ablation_inclusive.cc.o.d"
+  "ablation_inclusive"
+  "ablation_inclusive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_inclusive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_multi.dir/fig7_multi.cc.o"
+  "CMakeFiles/fig7_multi.dir/fig7_multi.cc.o.d"
+  "fig7_multi"
+  "fig7_multi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_filtering.dir/fig8_filtering.cc.o"
+  "CMakeFiles/fig8_filtering.dir/fig8_filtering.cc.o.d"
+  "fig8_filtering"
+  "fig8_filtering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_filtering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

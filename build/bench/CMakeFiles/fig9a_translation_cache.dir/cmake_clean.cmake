@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9a_translation_cache.dir/fig9a_translation_cache.cc.o"
+  "CMakeFiles/fig9a_translation_cache.dir/fig9a_translation_cache.cc.o.d"
+  "fig9a_translation_cache"
+  "fig9a_translation_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9a_translation_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

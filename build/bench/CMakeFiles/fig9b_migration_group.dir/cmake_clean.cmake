@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9b_migration_group.dir/fig9b_migration_group.cc.o"
+  "CMakeFiles/fig9b_migration_group.dir/fig9b_migration_group.cc.o.d"
+  "fig9b_migration_group"
+  "fig9b_migration_group.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9b_migration_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

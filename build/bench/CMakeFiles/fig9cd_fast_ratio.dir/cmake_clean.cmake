@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9cd_fast_ratio.dir/fig9cd_fast_ratio.cc.o"
+  "CMakeFiles/fig9cd_fast_ratio.dir/fig9cd_fast_ratio.cc.o.d"
+  "fig9cd_fast_ratio"
+  "fig9cd_fast_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9cd_fast_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

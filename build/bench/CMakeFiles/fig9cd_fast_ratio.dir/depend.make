@@ -1,0 +1,2 @@
+# Empty dependencies file for fig9cd_fast_ratio.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_area_timing.dir/table_area_timing.cc.o"
+  "CMakeFiles/table_area_timing.dir/table_area_timing.cc.o.d"
+  "table_area_timing"
+  "table_area_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_area_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/multiprog_mix.cpp" "examples/CMakeFiles/multiprog_mix.dir/multiprog_mix.cpp.o" "gcc" "examples/CMakeFiles/multiprog_mix.dir/multiprog_mix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dasdram_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dasdram_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dasdram_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/dasdram_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dasdram_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/dasdram_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dasdram_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dasdram_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

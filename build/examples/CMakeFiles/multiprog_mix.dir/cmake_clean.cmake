@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiprog_mix.dir/multiprog_mix.cpp.o"
+  "CMakeFiles/multiprog_mix.dir/multiprog_mix.cpp.o.d"
+  "multiprog_mix"
+  "multiprog_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiprog_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

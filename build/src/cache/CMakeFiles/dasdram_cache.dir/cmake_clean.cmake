@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasdram_cache.dir/cache.cc.o"
+  "CMakeFiles/dasdram_cache.dir/cache.cc.o.d"
+  "CMakeFiles/dasdram_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/dasdram_cache.dir/hierarchy.cc.o.d"
+  "CMakeFiles/dasdram_cache.dir/mshr.cc.o"
+  "CMakeFiles/dasdram_cache.dir/mshr.cc.o.d"
+  "libdasdram_cache.a"
+  "libdasdram_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasdram_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

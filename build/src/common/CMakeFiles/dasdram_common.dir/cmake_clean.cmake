@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasdram_common.dir/config.cc.o"
+  "CMakeFiles/dasdram_common.dir/config.cc.o.d"
+  "CMakeFiles/dasdram_common.dir/log.cc.o"
+  "CMakeFiles/dasdram_common.dir/log.cc.o.d"
+  "CMakeFiles/dasdram_common.dir/random.cc.o"
+  "CMakeFiles/dasdram_common.dir/random.cc.o.d"
+  "CMakeFiles/dasdram_common.dir/stats.cc.o"
+  "CMakeFiles/dasdram_common.dir/stats.cc.o.d"
+  "libdasdram_common.a"
+  "libdasdram_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasdram_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/area_model.cc" "src/core/CMakeFiles/dasdram_core.dir/area_model.cc.o" "gcc" "src/core/CMakeFiles/dasdram_core.dir/area_model.cc.o.d"
+  "/root/repo/src/core/das_manager.cc" "src/core/CMakeFiles/dasdram_core.dir/das_manager.cc.o" "gcc" "src/core/CMakeFiles/dasdram_core.dir/das_manager.cc.o.d"
+  "/root/repo/src/core/designs.cc" "src/core/CMakeFiles/dasdram_core.dir/designs.cc.o" "gcc" "src/core/CMakeFiles/dasdram_core.dir/designs.cc.o.d"
+  "/root/repo/src/core/inclusive_directory.cc" "src/core/CMakeFiles/dasdram_core.dir/inclusive_directory.cc.o" "gcc" "src/core/CMakeFiles/dasdram_core.dir/inclusive_directory.cc.o.d"
+  "/root/repo/src/core/migration.cc" "src/core/CMakeFiles/dasdram_core.dir/migration.cc.o" "gcc" "src/core/CMakeFiles/dasdram_core.dir/migration.cc.o.d"
+  "/root/repo/src/core/promotion_policy.cc" "src/core/CMakeFiles/dasdram_core.dir/promotion_policy.cc.o" "gcc" "src/core/CMakeFiles/dasdram_core.dir/promotion_policy.cc.o.d"
+  "/root/repo/src/core/replacement_policy.cc" "src/core/CMakeFiles/dasdram_core.dir/replacement_policy.cc.o" "gcc" "src/core/CMakeFiles/dasdram_core.dir/replacement_policy.cc.o.d"
+  "/root/repo/src/core/static_profile.cc" "src/core/CMakeFiles/dasdram_core.dir/static_profile.cc.o" "gcc" "src/core/CMakeFiles/dasdram_core.dir/static_profile.cc.o.d"
+  "/root/repo/src/core/subarray_layout.cc" "src/core/CMakeFiles/dasdram_core.dir/subarray_layout.cc.o" "gcc" "src/core/CMakeFiles/dasdram_core.dir/subarray_layout.cc.o.d"
+  "/root/repo/src/core/translation_cache.cc" "src/core/CMakeFiles/dasdram_core.dir/translation_cache.cc.o" "gcc" "src/core/CMakeFiles/dasdram_core.dir/translation_cache.cc.o.d"
+  "/root/repo/src/core/translation_table.cc" "src/core/CMakeFiles/dasdram_core.dir/translation_table.cc.o" "gcc" "src/core/CMakeFiles/dasdram_core.dir/translation_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dram/CMakeFiles/dasdram_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dasdram_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/dasdram_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dasdram_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dasdram_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

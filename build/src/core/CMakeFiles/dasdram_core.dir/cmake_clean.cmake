@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasdram_core.dir/area_model.cc.o"
+  "CMakeFiles/dasdram_core.dir/area_model.cc.o.d"
+  "CMakeFiles/dasdram_core.dir/das_manager.cc.o"
+  "CMakeFiles/dasdram_core.dir/das_manager.cc.o.d"
+  "CMakeFiles/dasdram_core.dir/designs.cc.o"
+  "CMakeFiles/dasdram_core.dir/designs.cc.o.d"
+  "CMakeFiles/dasdram_core.dir/inclusive_directory.cc.o"
+  "CMakeFiles/dasdram_core.dir/inclusive_directory.cc.o.d"
+  "CMakeFiles/dasdram_core.dir/migration.cc.o"
+  "CMakeFiles/dasdram_core.dir/migration.cc.o.d"
+  "CMakeFiles/dasdram_core.dir/promotion_policy.cc.o"
+  "CMakeFiles/dasdram_core.dir/promotion_policy.cc.o.d"
+  "CMakeFiles/dasdram_core.dir/replacement_policy.cc.o"
+  "CMakeFiles/dasdram_core.dir/replacement_policy.cc.o.d"
+  "CMakeFiles/dasdram_core.dir/static_profile.cc.o"
+  "CMakeFiles/dasdram_core.dir/static_profile.cc.o.d"
+  "CMakeFiles/dasdram_core.dir/subarray_layout.cc.o"
+  "CMakeFiles/dasdram_core.dir/subarray_layout.cc.o.d"
+  "CMakeFiles/dasdram_core.dir/translation_cache.cc.o"
+  "CMakeFiles/dasdram_core.dir/translation_cache.cc.o.d"
+  "CMakeFiles/dasdram_core.dir/translation_table.cc.o"
+  "CMakeFiles/dasdram_core.dir/translation_table.cc.o.d"
+  "libdasdram_core.a"
+  "libdasdram_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasdram_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

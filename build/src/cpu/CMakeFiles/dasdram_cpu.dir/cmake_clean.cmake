@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasdram_cpu.dir/core.cc.o"
+  "CMakeFiles/dasdram_cpu.dir/core.cc.o.d"
+  "libdasdram_cpu.a"
+  "libdasdram_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasdram_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/address_mapping.cc" "src/dram/CMakeFiles/dasdram_dram.dir/address_mapping.cc.o" "gcc" "src/dram/CMakeFiles/dasdram_dram.dir/address_mapping.cc.o.d"
+  "/root/repo/src/dram/bank.cc" "src/dram/CMakeFiles/dasdram_dram.dir/bank.cc.o" "gcc" "src/dram/CMakeFiles/dasdram_dram.dir/bank.cc.o.d"
+  "/root/repo/src/dram/command.cc" "src/dram/CMakeFiles/dasdram_dram.dir/command.cc.o" "gcc" "src/dram/CMakeFiles/dasdram_dram.dir/command.cc.o.d"
+  "/root/repo/src/dram/controller.cc" "src/dram/CMakeFiles/dasdram_dram.dir/controller.cc.o" "gcc" "src/dram/CMakeFiles/dasdram_dram.dir/controller.cc.o.d"
+  "/root/repo/src/dram/dram_system.cc" "src/dram/CMakeFiles/dasdram_dram.dir/dram_system.cc.o" "gcc" "src/dram/CMakeFiles/dasdram_dram.dir/dram_system.cc.o.d"
+  "/root/repo/src/dram/geometry.cc" "src/dram/CMakeFiles/dasdram_dram.dir/geometry.cc.o" "gcc" "src/dram/CMakeFiles/dasdram_dram.dir/geometry.cc.o.d"
+  "/root/repo/src/dram/rank.cc" "src/dram/CMakeFiles/dasdram_dram.dir/rank.cc.o" "gcc" "src/dram/CMakeFiles/dasdram_dram.dir/rank.cc.o.d"
+  "/root/repo/src/dram/timing.cc" "src/dram/CMakeFiles/dasdram_dram.dir/timing.cc.o" "gcc" "src/dram/CMakeFiles/dasdram_dram.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/dasdram_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dasdram_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasdram_dram.dir/address_mapping.cc.o"
+  "CMakeFiles/dasdram_dram.dir/address_mapping.cc.o.d"
+  "CMakeFiles/dasdram_dram.dir/bank.cc.o"
+  "CMakeFiles/dasdram_dram.dir/bank.cc.o.d"
+  "CMakeFiles/dasdram_dram.dir/command.cc.o"
+  "CMakeFiles/dasdram_dram.dir/command.cc.o.d"
+  "CMakeFiles/dasdram_dram.dir/controller.cc.o"
+  "CMakeFiles/dasdram_dram.dir/controller.cc.o.d"
+  "CMakeFiles/dasdram_dram.dir/dram_system.cc.o"
+  "CMakeFiles/dasdram_dram.dir/dram_system.cc.o.d"
+  "CMakeFiles/dasdram_dram.dir/geometry.cc.o"
+  "CMakeFiles/dasdram_dram.dir/geometry.cc.o.d"
+  "CMakeFiles/dasdram_dram.dir/rank.cc.o"
+  "CMakeFiles/dasdram_dram.dir/rank.cc.o.d"
+  "CMakeFiles/dasdram_dram.dir/timing.cc.o"
+  "CMakeFiles/dasdram_dram.dir/timing.cc.o.d"
+  "libdasdram_dram.a"
+  "libdasdram_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasdram_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

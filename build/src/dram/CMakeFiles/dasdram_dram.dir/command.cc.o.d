@@ -1,0 +1,3 @@
+src/dram/CMakeFiles/dasdram_dram.dir/command.cc.o: \
+ /root/repo/src/dram/command.cc /usr/include/stdc-predef.h \
+ /root/repo/src/dram/command.hh

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasdram_mem.dir/request.cc.o"
+  "CMakeFiles/dasdram_mem.dir/request.cc.o.d"
+  "libdasdram_mem.a"
+  "libdasdram_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasdram_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

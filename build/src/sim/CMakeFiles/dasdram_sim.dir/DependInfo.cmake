@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/experiment.cc" "src/sim/CMakeFiles/dasdram_sim.dir/experiment.cc.o" "gcc" "src/sim/CMakeFiles/dasdram_sim.dir/experiment.cc.o.d"
+  "/root/repo/src/sim/sim_config.cc" "src/sim/CMakeFiles/dasdram_sim.dir/sim_config.cc.o" "gcc" "src/sim/CMakeFiles/dasdram_sim.dir/sim_config.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/sim/CMakeFiles/dasdram_sim.dir/system.cc.o" "gcc" "src/sim/CMakeFiles/dasdram_sim.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dasdram_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dasdram_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/dasdram_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dasdram_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/dasdram_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dasdram_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dasdram_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

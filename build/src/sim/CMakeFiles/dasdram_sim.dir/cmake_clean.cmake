@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasdram_sim.dir/experiment.cc.o"
+  "CMakeFiles/dasdram_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/dasdram_sim.dir/sim_config.cc.o"
+  "CMakeFiles/dasdram_sim.dir/sim_config.cc.o.d"
+  "CMakeFiles/dasdram_sim.dir/system.cc.o"
+  "CMakeFiles/dasdram_sim.dir/system.cc.o.d"
+  "libdasdram_sim.a"
+  "libdasdram_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasdram_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/spec_profiles.cc" "src/workload/CMakeFiles/dasdram_workload.dir/spec_profiles.cc.o" "gcc" "src/workload/CMakeFiles/dasdram_workload.dir/spec_profiles.cc.o.d"
+  "/root/repo/src/workload/synth_trace.cc" "src/workload/CMakeFiles/dasdram_workload.dir/synth_trace.cc.o" "gcc" "src/workload/CMakeFiles/dasdram_workload.dir/synth_trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/dasdram_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dasdram_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dasdram_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

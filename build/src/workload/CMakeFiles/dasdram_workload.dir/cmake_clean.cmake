@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasdram_workload.dir/spec_profiles.cc.o"
+  "CMakeFiles/dasdram_workload.dir/spec_profiles.cc.o.d"
+  "CMakeFiles/dasdram_workload.dir/synth_trace.cc.o"
+  "CMakeFiles/dasdram_workload.dir/synth_trace.cc.o.d"
+  "libdasdram_workload.a"
+  "libdasdram_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasdram_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdasdram_workload.a"
+)

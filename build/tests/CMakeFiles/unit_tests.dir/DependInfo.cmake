@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cache/test_cache.cc" "tests/CMakeFiles/unit_tests.dir/cache/test_cache.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/cache/test_cache.cc.o.d"
+  "/root/repo/tests/cache/test_hierarchy.cc" "tests/CMakeFiles/unit_tests.dir/cache/test_hierarchy.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/cache/test_hierarchy.cc.o.d"
+  "/root/repo/tests/cache/test_mshr.cc" "tests/CMakeFiles/unit_tests.dir/cache/test_mshr.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/cache/test_mshr.cc.o.d"
+  "/root/repo/tests/common/test_bitutil.cc" "tests/CMakeFiles/unit_tests.dir/common/test_bitutil.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/common/test_bitutil.cc.o.d"
+  "/root/repo/tests/common/test_config.cc" "tests/CMakeFiles/unit_tests.dir/common/test_config.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/common/test_config.cc.o.d"
+  "/root/repo/tests/common/test_random.cc" "tests/CMakeFiles/unit_tests.dir/common/test_random.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/common/test_random.cc.o.d"
+  "/root/repo/tests/common/test_stats.cc" "tests/CMakeFiles/unit_tests.dir/common/test_stats.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/common/test_stats.cc.o.d"
+  "/root/repo/tests/common/test_strfmt.cc" "tests/CMakeFiles/unit_tests.dir/common/test_strfmt.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/common/test_strfmt.cc.o.d"
+  "/root/repo/tests/core/test_area_model.cc" "tests/CMakeFiles/unit_tests.dir/core/test_area_model.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/core/test_area_model.cc.o.d"
+  "/root/repo/tests/core/test_das_manager.cc" "tests/CMakeFiles/unit_tests.dir/core/test_das_manager.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/core/test_das_manager.cc.o.d"
+  "/root/repo/tests/core/test_inclusive.cc" "tests/CMakeFiles/unit_tests.dir/core/test_inclusive.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/core/test_inclusive.cc.o.d"
+  "/root/repo/tests/core/test_migration.cc" "tests/CMakeFiles/unit_tests.dir/core/test_migration.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/core/test_migration.cc.o.d"
+  "/root/repo/tests/core/test_policies.cc" "tests/CMakeFiles/unit_tests.dir/core/test_policies.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/core/test_policies.cc.o.d"
+  "/root/repo/tests/core/test_static_profile.cc" "tests/CMakeFiles/unit_tests.dir/core/test_static_profile.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/core/test_static_profile.cc.o.d"
+  "/root/repo/tests/core/test_subarray_layout.cc" "tests/CMakeFiles/unit_tests.dir/core/test_subarray_layout.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/core/test_subarray_layout.cc.o.d"
+  "/root/repo/tests/core/test_translation_cache.cc" "tests/CMakeFiles/unit_tests.dir/core/test_translation_cache.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/core/test_translation_cache.cc.o.d"
+  "/root/repo/tests/core/test_translation_table.cc" "tests/CMakeFiles/unit_tests.dir/core/test_translation_table.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/core/test_translation_table.cc.o.d"
+  "/root/repo/tests/cpu/test_core.cc" "tests/CMakeFiles/unit_tests.dir/cpu/test_core.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/cpu/test_core.cc.o.d"
+  "/root/repo/tests/dram/test_address_mapping.cc" "tests/CMakeFiles/unit_tests.dir/dram/test_address_mapping.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/dram/test_address_mapping.cc.o.d"
+  "/root/repo/tests/dram/test_bank.cc" "tests/CMakeFiles/unit_tests.dir/dram/test_bank.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/dram/test_bank.cc.o.d"
+  "/root/repo/tests/dram/test_controller.cc" "tests/CMakeFiles/unit_tests.dir/dram/test_controller.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/dram/test_controller.cc.o.d"
+  "/root/repo/tests/dram/test_dram_system.cc" "tests/CMakeFiles/unit_tests.dir/dram/test_dram_system.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/dram/test_dram_system.cc.o.d"
+  "/root/repo/tests/dram/test_geometry.cc" "tests/CMakeFiles/unit_tests.dir/dram/test_geometry.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/dram/test_geometry.cc.o.d"
+  "/root/repo/tests/dram/test_rank.cc" "tests/CMakeFiles/unit_tests.dir/dram/test_rank.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/dram/test_rank.cc.o.d"
+  "/root/repo/tests/dram/test_stress.cc" "tests/CMakeFiles/unit_tests.dir/dram/test_stress.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/dram/test_stress.cc.o.d"
+  "/root/repo/tests/dram/test_timing.cc" "tests/CMakeFiles/unit_tests.dir/dram/test_timing.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/dram/test_timing.cc.o.d"
+  "/root/repo/tests/workload/test_synth_trace.cc" "tests/CMakeFiles/unit_tests.dir/workload/test_synth_trace.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/workload/test_synth_trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dasdram_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dasdram_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dasdram_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/dasdram_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dasdram_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/dasdram_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dasdram_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dasdram_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

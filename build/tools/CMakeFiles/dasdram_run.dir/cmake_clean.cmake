@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasdram_run.dir/dasdram_run.cc.o"
+  "CMakeFiles/dasdram_run.dir/dasdram_run.cc.o.d"
+  "dasdram_run"
+  "dasdram_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasdram_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
