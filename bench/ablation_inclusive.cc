@@ -6,6 +6,8 @@
  * of a swap (3 tRC), but write-heavy workloads pay victim write-backs,
  * and the real design also loses 1/8 of capacity to duplication (not
  * visible in a timing model — noted in the caption).
+ *
+ * Parallelise with --jobs N (or DAS_JOBS); export with --json FILE.
  */
 
 #include <cstdio>
@@ -16,31 +18,39 @@
 using namespace dasdram;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::BenchOptions opts = benchutil::parseBenchArgs(argc, argv);
     SimConfig base = benchutil::defaultConfig();
+
+    const std::vector<std::string> &benches = specBenchmarks();
+
+    SweepRunner sweep(base, opts.jobs);
+    for (const std::string &bench : benches) {
+        sweep.add(WorkloadSpec::single(bench), DesignKind::Das,
+                  [](SimConfig &c) { c.das.exclusiveCache = true; },
+                  "exclusive");
+        sweep.add(WorkloadSpec::single(bench), DesignKind::Das,
+                  [](SimConfig &c) { c.das.exclusiveCache = false; },
+                  "inclusive");
+    }
+    std::vector<ExperimentResult> results = sweep.run();
+    benchutil::exportResults(opts, results);
 
     benchutil::Table perf("Ablation: exclusive vs inclusive fast-level "
                           "management (performance improvement %)");
 
-    ExperimentRunner runner(base);
     std::vector<double> excl_imp, incl_imp;
-    for (const std::string &bench : specBenchmarks()) {
-        WorkloadSpec w = WorkloadSpec::single(bench);
-
-        runner.baseConfig().das.exclusiveCache = true;
-        ExperimentResult excl = runner.run(w, DesignKind::Das);
-        runner.baseConfig().das.exclusiveCache = false;
-        ExperimentResult incl = runner.run(w, DesignKind::Das);
-
+    for (std::size_t b = 0; b < benches.size(); ++b) {
+        const ExperimentResult &excl = results[b * 2];
+        const ExperimentResult &incl = results[b * 2 + 1];
         excl_imp.push_back(excl.perfImprovement);
         incl_imp.push_back(incl.perfImprovement);
-        perf.row({bench, benchutil::pct(excl.perfImprovement),
+        perf.row({benches[b], benchutil::pct(excl.perfImprovement),
                   benchutil::pct(incl.perfImprovement),
                   benchutil::num(excl.metrics.ppkm(), 1),
                   benchutil::num(incl.metrics.ppkm(), 1)});
     }
-    runner.baseConfig().das.exclusiveCache = true;
 
     perf.row({"gmean",
               benchutil::pct(

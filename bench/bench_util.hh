@@ -1,17 +1,22 @@
 /**
  * @file
  * Shared helpers for the benchmark harness binaries: the common Table 1
- * configuration, simple aligned-table printing and number formatting.
+ * configuration, command-line handling (--jobs / --json), simple
+ * aligned-table printing and number formatting.
  */
 
 #ifndef DASDRAM_BENCH_BENCH_UTIL_HH
 #define DASDRAM_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "common/log.hh"
 #include "sim/experiment.hh"
+#include "sim/sweep.hh"
 
 namespace dasdram
 {
@@ -27,6 +32,67 @@ defaultConfig()
     cfg.instructionsPerCore = 16'000'000;
     applySimScale(cfg);
     return cfg;
+}
+
+/** Options every figure binary accepts. */
+struct BenchOptions
+{
+    unsigned jobs = 0;    ///< 0 = auto (DAS_JOBS env, else hardware)
+    std::string jsonPath; ///< when non-empty, export results as JSONL
+};
+
+/** Parse --jobs N and --json FILE; fatal on unknown arguments. */
+inline BenchOptions
+parseBenchArgs(int argc, char **argv)
+{
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto need_value = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for {}", flag);
+            return argv[++i];
+        };
+        if (arg == "--jobs" || arg == "-j") {
+            opts.jobs = static_cast<unsigned>(
+                std::strtoul(need_value("--jobs").c_str(), nullptr, 10));
+            if (opts.jobs == 0)
+                fatal("--jobs needs a positive integer");
+        } else if (arg == "--json") {
+            opts.jsonPath = need_value("--json");
+            // Fail on an unwritable path now, not after an hour-long
+            // sweep has already run.
+            std::ofstream probe(opts.jsonPath);
+            if (!probe)
+                fatal("cannot open '{}' for writing", opts.jsonPath);
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: %s [--jobs N] [--json FILE]\n"
+                        "  --jobs N    worker threads (default: DAS_JOBS "
+                        "env, else hardware)\n"
+                        "  --json FILE export all sweep points as JSON "
+                        "lines\n",
+                        argv[0]);
+            std::exit(0);
+        } else {
+            fatal("unknown argument '{}' (try --help)", arg);
+        }
+    }
+    return opts;
+}
+
+/** Export @p results as JSON lines when --json was given. */
+inline void
+exportResults(const BenchOptions &opts,
+              const std::vector<ExperimentResult> &results)
+{
+    if (opts.jsonPath.empty())
+        return;
+    std::ofstream os(opts.jsonPath);
+    if (!os)
+        fatal("cannot open '{}' for writing", opts.jsonPath);
+    writeJsonLines(os, results);
+    inform("wrote {} sweep results to {}", results.size(),
+           opts.jsonPath);
 }
 
 inline std::string

@@ -7,6 +7,7 @@
  *
  * Per-core instruction budgets are half the single-programming runs:
  * four cores generate roughly 4x the memory traffic per instruction.
+ * Parallelise with --jobs N (or DAS_JOBS); export with --json FILE.
  */
 
 #include <cstdio>
@@ -17,13 +18,21 @@
 using namespace dasdram;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::BenchOptions opts = benchutil::parseBenchArgs(argc, argv);
     SimConfig cfg = benchutil::defaultConfig();
     cfg.instructionsPerCore /= 2;
-    ExperimentRunner runner(cfg);
 
     const std::vector<DesignKind> &designs = evaluatedDesigns();
+    const std::size_t num_mixes = specMixes().size();
+
+    SweepRunner sweep(cfg, opts.jobs);
+    for (std::size_t mi = 0; mi < num_mixes; ++mi)
+        for (DesignKind d : designs)
+            sweep.add(WorkloadSpec::mix(mi), d);
+    std::vector<ExperimentResult> results = sweep.run();
+    benchutil::exportResults(opts, results);
 
     benchutil::Table improvements(
         "Figure 7d: multi-programming performance improvement (%)");
@@ -35,25 +44,26 @@ main()
 
     std::vector<std::vector<double>> imp(designs.size());
 
-    for (std::size_t mi = 0; mi < specMixes().size(); ++mi) {
-        WorkloadSpec w = WorkloadSpec::mix(mi);
-        std::vector<std::string> row{w.name};
-        ExperimentResult das_res;
+    for (std::size_t mi = 0; mi < num_mixes; ++mi) {
+        std::string name = mixName(mi);
+        std::vector<std::string> row{name};
+        const ExperimentResult *das_res = nullptr;
         for (std::size_t d = 0; d < designs.size(); ++d) {
-            ExperimentResult r = runner.run(w, designs[d]);
+            const ExperimentResult &r =
+                results[mi * designs.size() + d];
             imp[d].push_back(r.perfImprovement);
             row.push_back(benchutil::pct(r.perfImprovement));
             if (designs[d] == DesignKind::Das)
-                das_res = r;
+                das_res = &r;
         }
         improvements.row(row);
 
-        const RunMetrics &m = das_res.metrics;
-        behaviour.row({w.name, benchutil::num(m.mpki(), 2),
+        const RunMetrics &m = das_res->metrics;
+        behaviour.row({name, benchutil::num(m.mpki(), 2),
                        benchutil::num(m.ppkm(), 2),
                        benchutil::num(m.footprintMiB(cfg.geom.rowBytes),
                                       1),
-                       benchutil::num(das_res.energyPerAccessNj, 2)});
+                       benchutil::num(das_res->energyPerAccessNj, 2)});
 
         std::uint64_t total = m.locations.total();
         auto share = [total](std::uint64_t v) {
@@ -61,7 +71,7 @@ main()
                                static_cast<double>(total)
                          : 0.0;
         };
-        locations.row({w.name,
+        locations.row({name,
                        benchutil::num(share(m.locations.rowBuffer), 1),
                        benchutil::num(share(m.locations.fastLevel), 1),
                        benchutil::num(share(m.locations.slowLevel), 1)});

@@ -8,7 +8,8 @@
  * MPKI, PPKM and footprint (7b); and the access-location distribution
  * of DAS-DRAM (7c). Also prints DRAM energy per access (Section 7.7).
  *
- * Scale with DAS_SIM_SCALE (e.g. 0.25 for a quick pass).
+ * Scale with DAS_SIM_SCALE (e.g. 0.25 for a quick pass); parallelise
+ * with --jobs N (or DAS_JOBS); export JSON lines with --json FILE.
  */
 
 #include <cstdio>
@@ -19,13 +20,20 @@
 using namespace dasdram;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::BenchOptions opts = benchutil::parseBenchArgs(argc, argv);
     SimConfig cfg = benchutil::defaultConfig();
-    ExperimentRunner runner(cfg);
 
     const std::vector<std::string> &benches = specBenchmarks();
     const std::vector<DesignKind> &designs = evaluatedDesigns();
+
+    SweepRunner sweep(cfg, opts.jobs);
+    for (const std::string &bench : benches)
+        for (DesignKind d : designs)
+            sweep.add(WorkloadSpec::single(bench), d);
+    std::vector<ExperimentResult> results = sweep.run();
+    benchutil::exportResults(opts, results);
 
     benchutil::Table improvements("Figure 7a: performance improvement "
                                   "over standard DRAM (%)");
@@ -37,27 +45,26 @@ main()
 
     std::vector<std::vector<double>> imp(designs.size());
 
-    for (const std::string &bench : benches) {
-        WorkloadSpec w = WorkloadSpec::single(bench);
-        std::vector<std::string> imp_row{bench};
-        ExperimentResult das_res;
+    for (std::size_t b = 0; b < benches.size(); ++b) {
+        std::vector<std::string> imp_row{benches[b]};
+        const ExperimentResult *das_res = nullptr;
         for (std::size_t d = 0; d < designs.size(); ++d) {
-            ExperimentResult r = runner.run(w, designs[d]);
+            const ExperimentResult &r =
+                results[b * designs.size() + d];
             imp[d].push_back(r.perfImprovement);
-            imp_row.push_back(
-                benchutil::pct(r.perfImprovement));
+            imp_row.push_back(benchutil::pct(r.perfImprovement));
             if (designs[d] == DesignKind::Das)
-                das_res = r;
+                das_res = &r;
         }
         improvements.row(imp_row);
 
-        const RunMetrics &m = das_res.metrics;
-        behaviour.row({bench, benchutil::num(m.mpki(), 2),
+        const RunMetrics &m = das_res->metrics;
+        behaviour.row({benches[b], benchutil::num(m.mpki(), 2),
                        benchutil::num(m.ppkm(), 2),
                        benchutil::num(m.footprintMiB(
                                           cfg.geom.rowBytes),
                                       1),
-                       benchutil::num(das_res.energyPerAccessNj, 2)});
+                       benchutil::num(das_res->energyPerAccessNj, 2)});
 
         std::uint64_t total = m.locations.total();
         auto share = [total](std::uint64_t v) {
@@ -65,7 +72,7 @@ main()
                                static_cast<double>(total)
                          : 0.0;
         };
-        locations.row({bench,
+        locations.row({benches[b],
                        benchutil::num(share(m.locations.rowBuffer), 1),
                        benchutil::num(share(m.locations.fastLevel), 1),
                        benchutil::num(share(m.locations.slowLevel), 1)});

@@ -4,6 +4,8 @@
  * (32/64/128/256 KB). Expected: 128 KB achieves good performance
  * (it covers the fast level's translation entries); smaller caches
  * lose some, larger ones add little.
+ *
+ * Parallelise with --jobs N (or DAS_JOBS); export with --json FILE.
  */
 
 #include <cstdio>
@@ -14,25 +16,39 @@
 using namespace dasdram;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::BenchOptions opts = benchutil::parseBenchArgs(argc, argv);
     SimConfig base = benchutil::defaultConfig();
     const std::uint64_t kCapacities[] = {32 * KiB, 64 * KiB, 128 * KiB,
                                          256 * KiB};
+    const char *kLabels[] = {"32KB", "64KB", "128KB", "256KB"};
+
+    const std::vector<std::string> &benches = specBenchmarks();
+
+    SweepRunner sweep(base, opts.jobs);
+    for (const std::string &bench : benches) {
+        for (std::size_t i = 0; i < 4; ++i) {
+            std::uint64_t cap = kCapacities[i];
+            sweep.add(WorkloadSpec::single(bench), DesignKind::Das,
+                      [cap](SimConfig &c) {
+                          c.das.translationCacheBytes = cap;
+                      },
+                      kLabels[i]);
+        }
+    }
+    std::vector<ExperimentResult> results = sweep.run();
+    benchutil::exportResults(opts, results);
 
     benchutil::Table perf(
         "Figure 9a: performance improvement (%) by translation-cache "
         "capacity");
 
-    ExperimentRunner runner(base);
     std::vector<std::vector<double>> imp(4);
-    for (const std::string &bench : specBenchmarks()) {
-        WorkloadSpec w = WorkloadSpec::single(bench);
-        std::vector<std::string> row{bench};
+    for (std::size_t b = 0; b < benches.size(); ++b) {
+        std::vector<std::string> row{benches[b]};
         for (std::size_t i = 0; i < 4; ++i) {
-            runner.baseConfig().das.translationCacheBytes =
-                kCapacities[i];
-            ExperimentResult r = runner.run(w, DesignKind::Das);
+            const ExperimentResult &r = results[b * 4 + i];
             imp[i].push_back(r.perfImprovement);
             row.push_back(benchutil::pct(r.perfImprovement));
         }

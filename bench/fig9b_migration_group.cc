@@ -3,6 +3,8 @@
  * Reproduces Figure 9b: sensitivity to the migration-group size
  * (8/16/32/64 rows). Smaller groups need fewer mapping bits but risk
  * contention; the paper finds the effect subtle (Section 7.5).
+ *
+ * Parallelise with --jobs N (or DAS_JOBS); export with --json FILE.
  */
 
 #include <cstdio>
@@ -13,23 +15,34 @@
 using namespace dasdram;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::BenchOptions opts = benchutil::parseBenchArgs(argc, argv);
     SimConfig base = benchutil::defaultConfig();
     const unsigned kGroups[] = {8, 16, 32, 64};
+
+    const std::vector<std::string> &benches = specBenchmarks();
+
+    SweepRunner sweep(base, opts.jobs);
+    for (const std::string &bench : benches) {
+        for (unsigned g : kGroups) {
+            sweep.add(WorkloadSpec::single(bench), DesignKind::Das,
+                      [g](SimConfig &c) { c.layout.groupSize = g; },
+                      std::to_string(g) + "-row");
+        }
+    }
+    std::vector<ExperimentResult> results = sweep.run();
+    benchutil::exportResults(opts, results);
 
     benchutil::Table perf(
         "Figure 9b: performance improvement (%) by migration group "
         "size");
 
-    ExperimentRunner runner(base);
     std::vector<std::vector<double>> imp(4);
-    for (const std::string &bench : specBenchmarks()) {
-        WorkloadSpec w = WorkloadSpec::single(bench);
-        std::vector<std::string> row{bench};
+    for (std::size_t b = 0; b < benches.size(); ++b) {
+        std::vector<std::string> row{benches[b]};
         for (std::size_t i = 0; i < 4; ++i) {
-            runner.baseConfig().layout.groupSize = kGroups[i];
-            ExperimentResult r = runner.run(w, DesignKind::Das);
+            const ExperimentResult &r = results[b * 4 + i];
             imp[i].push_back(r.perfImprovement);
             row.push_back(benchutil::pct(r.perfImprovement));
         }

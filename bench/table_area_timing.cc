@@ -2,11 +2,14 @@
  * @file
  * Reproduces the paper's analytic numbers: the migration/swap latency
  * derivation (Section 4.2 / Table 1) and the silicon-area overheads
- * (Sections 3.1, 4.3, 7.6).
+ * (Sections 3.1, 4.3, 7.6). Purely analytic — no simulations — but
+ * accepts the common figure-binary flags so scripted sweeps can pass
+ * --jobs uniformly.
  */
 
 #include <cstdio>
 
+#include "bench/bench_util.hh"
 #include "core/area_model.hh"
 #include "core/migration.hh"
 #include "dram/timing.hh"
@@ -14,8 +17,9 @@
 using namespace dasdram;
 
 int
-main()
+main(int argc, char **argv)
 {
+    (void)benchutil::parseBenchArgs(argc, argv);
     DramTiming t = ddr3_1600Timing();
     MigrationProcedure proc(t);
 

@@ -25,13 +25,8 @@ WorkloadSpec::mix(std::size_t i)
     return WorkloadSpec{mixName(i), mixes[i]};
 }
 
-ExperimentRunner::ExperimentRunner(SimConfig base) : base_(std::move(base))
-{
-}
-
 RunMetrics
-ExperimentRunner::runRaw(const WorkloadSpec &workload,
-                         const SimConfig &cfg_in)
+runSimulation(const WorkloadSpec &workload, const SimConfig &cfg_in)
 {
     SimConfig cfg = cfg_in;
     cfg.numCores = static_cast<unsigned>(workload.benchmarks.size());
@@ -70,43 +65,86 @@ ExperimentRunner::runRaw(const WorkloadSpec &workload,
     return sys.run();
 }
 
-const RunMetrics &
+double
+weightedSpeedupImprovement(const RunMetrics &metrics,
+                           const RunMetrics &baseline)
+{
+    if (metrics.ipc.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < metrics.ipc.size(); ++i) {
+        double b = i < baseline.ipc.size() ? baseline.ipc[i] : 0.0;
+        sum += b > 0.0 ? metrics.ipc[i] / b : 1.0;
+    }
+    return sum / static_cast<double>(metrics.ipc.size()) - 1.0;
+}
+
+ExperimentRunner::ExperimentRunner(SimConfig base) : base_(std::move(base))
+{
+}
+
+RunMetrics
+ExperimentRunner::runRaw(const WorkloadSpec &workload,
+                         const SimConfig &cfg_in)
+{
+    return runSimulation(workload, cfg_in);
+}
+
+void
+ExperimentRunner::invalidateBaselines()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    baselines_.clear();
+}
+
+RunMetrics
 ExperimentRunner::baseline(const WorkloadSpec &workload)
 {
-    auto it = baselines_.find(workload.name);
-    if (it != baselines_.end())
-        return it->second;
-    SimConfig cfg = base_;
-    cfg.design = DesignKind::Standard;
-    RunMetrics m = runRaw(workload, cfg);
-    return baselines_.emplace(workload.name, std::move(m)).first->second;
+    std::promise<RunMetrics> promise;
+    std::shared_future<RunMetrics> future;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = baselines_.find(workload.name);
+        if (it != baselines_.end()) {
+            future = it->second;
+        } else {
+            future = promise.get_future().share();
+            baselines_.emplace(workload.name, future);
+            owner = true;
+        }
+    }
+    if (owner) {
+        // Computed outside the lock so other workloads' baselines can
+        // progress; late arrivals for this workload block on the
+        // future. An invalidate between insert and set_value only
+        // drops the memo entry — the shared state stays alive through
+        // the futures already handed out.
+        SimConfig cfg = base_;
+        cfg.design = DesignKind::Standard;
+        promise.set_value(runSimulation(workload, cfg));
+    }
+    return future.get();
 }
 
 ExperimentResult
 ExperimentRunner::run(const WorkloadSpec &workload, DesignKind design)
 {
-    const RunMetrics &base = baseline(workload);
+    RunMetrics base = baseline(workload);
 
     ExperimentResult res;
     res.workload = workload.name;
     res.design = design;
+    res.seed = base_.seed;
     if (design == DesignKind::Standard) {
         res.metrics = base;
     } else {
         SimConfig cfg = base_;
         cfg.design = design;
-        res.metrics = runRaw(workload, cfg);
+        res.metrics = runSimulation(workload, cfg);
     }
 
-    double sum = 0.0;
-    for (std::size_t i = 0; i < res.metrics.ipc.size(); ++i) {
-        double b = base.ipc[i];
-        sum += b > 0.0 ? res.metrics.ipc[i] / b : 1.0;
-    }
-    res.perfImprovement =
-        res.metrics.ipc.empty()
-            ? 0.0
-            : sum / static_cast<double>(res.metrics.ipc.size()) - 1.0;
+    res.perfImprovement = weightedSpeedupImprovement(res.metrics, base);
     res.energyPerAccessNj = res.metrics.energy.perAccessNj(energyParams_);
     return res;
 }

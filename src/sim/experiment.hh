@@ -4,12 +4,20 @@
  * mixes), runs them on a DRAM design — including the profiling pass the
  * static baselines need — and reports paper-style metrics relative to
  * the standard-DRAM baseline.
+ *
+ * ExperimentRunner is safe for concurrent run()/runRaw() calls from
+ * multiple threads: the standard-DRAM baseline of each workload is
+ * computed exactly once behind a mutex-guarded memo and shared. See
+ * SweepRunner (sim/sweep.hh) for the parallel grid driver built on
+ * top of this.
  */
 
 #ifndef DASDRAM_SIM_EXPERIMENT_HH
 #define DASDRAM_SIM_EXPERIMENT_HH
 
+#include <future>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -38,6 +46,8 @@ struct ExperimentResult
 {
     std::string workload;
     DesignKind design = DesignKind::Standard;
+    std::string label;      ///< sweep tag, e.g. "th=4" (may be empty)
+    std::uint64_t seed = 0; ///< effective per-point seed (0: base seed)
     RunMetrics metrics;
 
     /**
@@ -52,8 +62,34 @@ struct ExperimentResult
 };
 
 /**
+ * Run @p workload on the exact configuration @p cfg (design field
+ * honoured, numCores taken from the workload): trace construction,
+ * the profiling pass for static designs, and the timed run. This is a
+ * pure function of its arguments — the foundation of the sweep
+ * engine's determinism guarantee — and is safe to call from many
+ * threads at once (each call owns its System).
+ */
+RunMetrics runSimulation(const WorkloadSpec &workload,
+                         const SimConfig &cfg);
+
+/** mean_i(IPC_i / baselineIPC_i) - 1 (zero-IPC baselines count as 1). */
+double weightedSpeedupImprovement(const RunMetrics &metrics,
+                                  const RunMetrics &baseline);
+
+/**
  * Runs experiments against a fixed base configuration, caching the
  * standard-DRAM baseline per workload so sweeps share it.
+ *
+ * Thread-safety contract: run(), runRaw() and invalidateBaselines()
+ * may be called concurrently. baseConfig() returns a mutable
+ * reference and is NOT synchronised — mutate it only while no run is
+ * in flight, and call invalidateBaselines() afterwards if the change
+ * affects standard-DRAM behaviour (instruction budget, warm-up, seed,
+ * geometry, caches...). Mutating it WITHOUT invalidating keeps
+ * serving the previously cached baselines — a documented footgun
+ * (see tests/sim/test_experiment_concurrency.cc) that the figure
+ * benches exploit deliberately for DAS-only knobs such as
+ * das.promotion.threshold, which standard DRAM ignores.
  */
 class ExperimentRunner
 {
@@ -70,20 +106,29 @@ class ExperimentRunner
     /** Same, with explicit configuration (design field is honoured). */
     RunMetrics runRaw(const WorkloadSpec &workload, const SimConfig &cfg);
 
-    /** The base configuration (mutable for sweeps between runs). */
+    /**
+     * The base configuration (mutable for sweeps between runs). Not
+     * synchronised — see the class comment.
+     */
     SimConfig &baseConfig() { return base_; }
 
     /** Forget cached baselines (call after mutating the base config). */
-    void invalidateBaselines() { baselines_.clear(); }
+    void invalidateBaselines();
 
     /** Geometric mean of (1 + improvement) minus 1 over results. */
     static double gmeanImprovement(const std::vector<double> &improvements);
 
   private:
-    const RunMetrics &baseline(const WorkloadSpec &workload);
+    /**
+     * Standard-DRAM metrics of @p workload, computed at most once per
+     * workload name. Returns by value: the memo may be invalidated
+     * concurrently, so references into it would dangle.
+     */
+    RunMetrics baseline(const WorkloadSpec &workload);
 
     SimConfig base_;
-    std::map<std::string, RunMetrics> baselines_;
+    std::mutex mutex_; ///< guards baselines_ (the map, not the runs)
+    std::map<std::string, std::shared_future<RunMetrics>> baselines_;
     EnergyParams energyParams_{};
 };
 

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Concurrency tests for ExperimentRunner: parallel run() calls share
+ * one baseline simulation per workload, invalidateBaselines() may
+ * race with in-flight runs, and the documented stale-baseline footgun
+ * of mutating baseConfig() without invalidating behaves as specified.
+ *
+ * Run these under ThreadSanitizer to verify the locking:
+ *   cmake -B build-tsan -DDAS_SANITIZE=thread
+ *   cmake --build build-tsan --target concurrency_tests
+ *   ctest --test-dir build-tsan -L stress
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+using namespace dasdram;
+
+namespace
+{
+
+SimConfig
+tinyConfig()
+{
+    SimConfig cfg;
+    cfg.instructionsPerCore = 60'000;
+    return cfg;
+}
+
+} // namespace
+
+TEST(ExperimentRunnerConcurrency, ParallelRunsMatchSerialRuns)
+{
+    // 2 workloads × 3 designs run from 4 threads against one runner...
+    const std::vector<std::string> workloads = {"mcf", "omnetpp"};
+    const std::vector<DesignKind> designs = {
+        DesignKind::Standard, DesignKind::Das, DesignKind::Fs};
+
+    ExperimentRunner shared(tinyConfig());
+    std::vector<ExperimentResult> parallel(workloads.size() *
+                                           designs.size());
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= parallel.size())
+                return;
+            const std::string &w = workloads[i / designs.size()];
+            DesignKind d = designs[i % designs.size()];
+            parallel[i] = shared.run(WorkloadSpec::single(w), d);
+        }
+    };
+    std::vector<std::thread> pool;
+    for (int t = 0; t < 4; ++t)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+
+    // ...must agree exactly with a fresh single-threaded runner.
+    ExperimentRunner serial(tinyConfig());
+    for (std::size_t i = 0; i < parallel.size(); ++i) {
+        SCOPED_TRACE("point " + std::to_string(i));
+        const std::string &w = workloads[i / designs.size()];
+        DesignKind d = designs[i % designs.size()];
+        ExperimentResult expect = serial.run(WorkloadSpec::single(w), d);
+        ASSERT_EQ(parallel[i].metrics.ipc.size(),
+                  expect.metrics.ipc.size());
+        EXPECT_EQ(parallel[i].metrics.ipc[0], expect.metrics.ipc[0]);
+        EXPECT_EQ(parallel[i].metrics.promotions,
+                  expect.metrics.promotions);
+        EXPECT_EQ(parallel[i].perfImprovement, expect.perfImprovement);
+    }
+}
+
+TEST(ExperimentRunnerConcurrency, InvalidateRacesWithRuns)
+{
+    // Stress the memo: runners keep requesting baselines while another
+    // thread repeatedly throws them away. Nothing to assert beyond
+    // sane output — the point is that ThreadSanitizer stays quiet and
+    // no run ever observes a half-built baseline.
+    ExperimentRunner runner(tinyConfig());
+    std::atomic<bool> stop{false};
+
+    std::vector<std::thread> pool;
+    std::atomic<unsigned> failures{0};
+    const std::vector<std::string> workloads = {"mcf", "omnetpp",
+                                                "milc"};
+    for (int t = 0; t < 3; ++t) {
+        pool.emplace_back([&, t]() {
+            for (int iter = 0; iter < 3; ++iter) {
+                ExperimentResult r = runner.run(
+                    WorkloadSpec::single(
+                        workloads[static_cast<std::size_t>(t)]),
+                    iter % 2 ? DesignKind::Das : DesignKind::Standard);
+                if (r.metrics.ipc.empty() || r.metrics.ipc[0] <= 0.0)
+                    failures.fetch_add(1);
+            }
+        });
+    }
+    std::thread invalidator([&]() {
+        while (!stop.load()) {
+            runner.invalidateBaselines();
+            std::this_thread::yield();
+        }
+    });
+    for (auto &t : pool)
+        t.join();
+    stop.store(true);
+    invalidator.join();
+    EXPECT_EQ(failures.load(), 0u);
+}
+
+TEST(ExperimentRunnerStaleBaseline, DocumentedFootgunBehaviour)
+{
+    // The documented contract (experiment.hh): mutating baseConfig()
+    // without invalidateBaselines() keeps serving the previously
+    // cached baseline. This test pins that behaviour down so a future
+    // change to the caching policy is a conscious one.
+    ExperimentRunner runner(tinyConfig());
+    WorkloadSpec w = WorkloadSpec::single("omnetpp");
+
+    ExperimentResult first = runner.run(w, DesignKind::Standard);
+    InstCount first_insts = first.metrics.instructions;
+
+    // Double the instruction budget WITHOUT invalidating: the cached
+    // (shorter) baseline is still served.
+    runner.baseConfig().instructionsPerCore *= 2;
+    ExperimentResult stale = runner.run(w, DesignKind::Standard);
+    EXPECT_EQ(stale.metrics.instructions, first_insts)
+        << "baseline memo should still serve the pre-mutation run";
+
+    // After invalidation the new budget takes effect.
+    runner.invalidateBaselines();
+    ExperimentResult fresh = runner.run(w, DesignKind::Standard);
+    EXPECT_GT(fresh.metrics.instructions, first_insts);
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Golden-stats regression test: one small fixed-seed single-program
+ * run per design class, with key metrics checked against checked-in
+ * golden values. Event counts are compared exactly and derived ratios
+ * tightly, so any PR that shifts the model's behaviour — timing,
+ * caching, promotion, energy accounting — trips this test and has to
+ * update the goldens consciously (and justify the shift in review).
+ *
+ * The goldens encode the simulator's output for:
+ *   workload mcf (single core), seed 42, 200k instructions/core,
+ *   default Table 1 configuration, DAS and Standard designs,
+ * run through runSimulation() directly (no sweep seed derivation), so
+ * they are independent of the sweep layer.
+ *
+ * To regenerate after an intentional model change:
+ *   build/tools/dasdram_run --workload mcf --design das \
+ *       --instructions 200000 --stats   (and read the fields below)
+ * or temporarily print the failing values and paste them here.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+
+using namespace dasdram;
+
+namespace
+{
+
+SimConfig
+goldenConfig()
+{
+    SimConfig cfg;
+    cfg.instructionsPerCore = 200'000;
+    cfg.seed = 42;
+    return cfg;
+}
+
+// Relative tolerance for derived floating-point metrics. The model is
+// deterministic, so this only absorbs harmless FP-contraction
+// differences between compilers, not behaviour drift.
+constexpr double kRelTol = 1e-9;
+
+void
+expectNear(double value, double golden, const char *what)
+{
+    EXPECT_NEAR(value, golden, std::abs(golden) * kRelTol + 1e-12)
+        << what;
+}
+
+} // namespace
+
+TEST(GoldenStats, McfDasFixedSeed)
+{
+    SimConfig cfg = goldenConfig();
+    cfg.design = DesignKind::Das;
+    RunMetrics m = runSimulation(WorkloadSpec::single("mcf"), cfg);
+
+    ASSERT_EQ(m.ipc.size(), 1u);
+    expectNear(m.ipc[0], 0.9524041952880391, "ipc");
+    EXPECT_EQ(m.cpuCycles, 167998u);
+    EXPECT_EQ(m.instructions, 160002u);
+    EXPECT_EQ(m.llcMisses, 5724u);
+    EXPECT_EQ(m.memAccesses, 5724u);
+    EXPECT_EQ(m.promotions, 2149u);
+    EXPECT_EQ(m.footprintRows, 3064u);
+    EXPECT_EQ(m.locations.rowBuffer, 374u);
+    EXPECT_EQ(m.locations.fastLevel, 3194u);
+    EXPECT_EQ(m.locations.slowLevel, 2152u);
+    EXPECT_EQ(m.energy.actsSlow, 2154u);
+    EXPECT_EQ(m.energy.actsFast, 3443u);
+    EXPECT_EQ(m.energy.reads, 5990u);
+    EXPECT_EQ(m.energy.writes, 0u);
+    EXPECT_EQ(m.energy.refreshes, 36u);
+    EXPECT_EQ(m.energy.swaps, 2156u);
+    expectNear(m.mpki(), 35.774552818089774, "mpki");
+    expectNear(m.ppkm(), 375.43675751222924, "ppkm");
+}
+
+TEST(GoldenStats, McfStandardFixedSeed)
+{
+    SimConfig cfg = goldenConfig();
+    cfg.design = DesignKind::Standard;
+    RunMetrics m = runSimulation(WorkloadSpec::single("mcf"), cfg);
+
+    ASSERT_EQ(m.ipc.size(), 1u);
+    expectNear(m.ipc[0], 0.97734422244076447, "ipc");
+    EXPECT_EQ(m.cpuCycles, 163711u);
+    EXPECT_EQ(m.instructions, 160002u);
+    EXPECT_EQ(m.llcMisses, 5780u);
+    EXPECT_EQ(m.memAccesses, 5780u);
+    EXPECT_EQ(m.promotions, 0u);
+    EXPECT_EQ(m.locations.rowBuffer, 540u);
+    EXPECT_EQ(m.locations.fastLevel, 0u);
+    EXPECT_EQ(m.locations.slowLevel, 5238u);
+    EXPECT_EQ(m.energy.actsSlow, 5256u);
+    EXPECT_EQ(m.energy.actsFast, 0u);
+    EXPECT_EQ(m.energy.reads, 5777u);
+    EXPECT_EQ(m.energy.refreshes, 32u);
+    EXPECT_EQ(m.energy.swaps, 0u);
+    expectNear(m.mpki(), 36.124548443144462, "mpki");
+}

@@ -17,14 +17,27 @@
  *                                          report the improvement
  *     --stats                              dump the full stats tree
  *     --csv                                one CSV row to stdout
+ *     --json <file>                        append-free JSONL export of
+ *                                          every point that ran
+ *     --jobs <N>                           worker threads for the
+ *                                          sweep (default: DAS_JOBS
+ *                                          env, else hardware); with
+ *                                          --baseline the baseline and
+ *                                          the design run in parallel
  *     --seed <N>                           workload seed
  *     --set key=value                      config override, repeatable:
  *         das.threshold, das.tcBytes, das.replacement, das.exclusive,
  *         layout.groupSize, layout.fastRatioDenom, sim.warmup
+ *
+ * Runs go through the SweepRunner engine, so the effective trace seed
+ * of a point is SweepRunner::pointSeed(--seed, workload, design) —
+ * deterministic, and identical to the same point inside any figure
+ * sweep with the same base seed.
  */
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -32,6 +45,7 @@
 #include "common/config.hh"
 #include "common/log.hh"
 #include "sim/experiment.hh"
+#include "sim/sweep.hh"
 
 using namespace dasdram;
 
@@ -150,6 +164,8 @@ main(int argc, char **argv)
     bool dump_stats = false;
     bool csv = false;
     std::uint64_t seed = 42;
+    unsigned jobs = 0;
+    std::string json_path;
     Config overrides;
 
     for (int i = 1; i < argc; ++i) {
@@ -169,6 +185,13 @@ main(int argc, char **argv)
         } else if (arg == "--seed") {
             seed = std::strtoull(need_value("--seed").c_str(), nullptr,
                                  0);
+        } else if (arg == "--jobs") {
+            jobs = static_cast<unsigned>(std::strtoul(
+                need_value("--jobs").c_str(), nullptr, 10));
+            if (jobs == 0)
+                fatal("--jobs needs a positive integer");
+        } else if (arg == "--json") {
+            json_path = need_value("--json");
         } else if (arg == "--baseline") {
             with_baseline = true;
         } else if (arg == "--stats") {
@@ -195,17 +218,27 @@ main(int argc, char **argv)
     WorkloadSpec w = parseWorkload(workload);
     DesignKind kind = parseDesign(design);
 
-    ExperimentRunner runner(cfg);
-    ExperimentResult r;
+    // Every run goes through the sweep engine; with --baseline the
+    // standard point and the design point are two grid points, so
+    // --jobs 2 runs them concurrently.
+    SweepRunner sweep(cfg, jobs);
+    std::size_t result_index = 0;
     if (with_baseline || csv) {
-        r = runner.run(w, kind); // runs + caches the baseline
+        sweep.add(w, DesignKind::Standard);
+        result_index = sweep.add(w, kind);
     } else {
-        cfg.design = kind;
-        r.workload = w.name;
-        r.design = kind;
-        r.metrics = runner.runRaw(w, cfg);
-        EnergyParams ep;
-        r.energyPerAccessNj = r.metrics.energy.perAccessNj(ep);
+        // Raw metrics only: skip the baseline simulation entirely.
+        result_index = sweep.add(
+            SweepPoint{w, kind, {}, {}, /*needBaseline=*/false});
+    }
+    std::vector<ExperimentResult> results = sweep.run();
+    const ExperimentResult &r = results[result_index];
+
+    if (!json_path.empty()) {
+        std::ofstream os(json_path);
+        if (!os)
+            fatal("cannot open '{}' for writing", json_path);
+        writeJsonLines(os, results);
     }
 
     if (csv) {
@@ -215,9 +248,12 @@ main(int argc, char **argv)
     }
 
     if (dump_stats) {
-        // Re-run with direct System access for the stats tree.
+        // Re-run with direct System access for the stats tree, using
+        // the same effective seed as the sweep point above so the
+        // dump matches the summary.
         SimConfig scfg = cfg;
         scfg.design = kind;
+        scfg.seed = SweepRunner::pointSeed(cfg.seed, w.name, kind);
         scfg.numCores = static_cast<unsigned>(w.benchmarks.size());
         std::vector<std::unique_ptr<SyntheticTrace>> traces;
         std::vector<TraceSource *> ptrs;
