@@ -34,14 +34,24 @@ defaultConfig()
     return cfg;
 }
 
+struct BenchOptions;
+
+/** defaultConfig() with the parsed command-line options applied. */
+SimConfig defaultConfig(const BenchOptions &opts);
+
 /** Options every figure binary accepts. */
 struct BenchOptions
 {
     unsigned jobs = 0;    ///< 0 = auto (DAS_JOBS env, else hardware)
     std::string jsonPath; ///< when non-empty, export results as JSONL
+    /** Online DRAM protocol checker (a violation aborts the sweep).
+     *  On by default so every figure run doubles as a protocol test;
+     *  --no-check turns it off to shave a few percent of runtime. */
+    bool protocolCheck = true;
 };
 
-/** Parse --jobs N and --json FILE; fatal on unknown arguments. */
+/** Parse --jobs N, --json FILE and --check/--no-check; fatal on
+ *  unknown arguments. */
 inline BenchOptions
 parseBenchArgs(int argc, char **argv)
 {
@@ -65,12 +75,19 @@ parseBenchArgs(int argc, char **argv)
             std::ofstream probe(opts.jsonPath);
             if (!probe)
                 fatal("cannot open '{}' for writing", opts.jsonPath);
+        } else if (arg == "--check") {
+            opts.protocolCheck = true;
+        } else if (arg == "--no-check") {
+            opts.protocolCheck = false;
         } else if (arg == "--help" || arg == "-h") {
-            std::printf("usage: %s [--jobs N] [--json FILE]\n"
+            std::printf("usage: %s [--jobs N] [--json FILE] "
+                        "[--check|--no-check]\n"
                         "  --jobs N    worker threads (default: DAS_JOBS "
                         "env, else hardware)\n"
                         "  --json FILE export all sweep points as JSON "
-                        "lines\n",
+                        "lines\n"
+                        "  --check     online DRAM protocol checker "
+                        "(default on; --no-check disables)\n",
                         argv[0]);
             std::exit(0);
         } else {
@@ -78,6 +95,14 @@ parseBenchArgs(int argc, char **argv)
         }
     }
     return opts;
+}
+
+inline SimConfig
+defaultConfig(const BenchOptions &opts)
+{
+    SimConfig cfg = defaultConfig();
+    cfg.protocolCheck = opts.protocolCheck;
+    return cfg;
 }
 
 /** Export @p results as JSON lines when --json was given. */

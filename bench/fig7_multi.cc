@@ -21,7 +21,7 @@ int
 main(int argc, char **argv)
 {
     benchutil::BenchOptions opts = benchutil::parseBenchArgs(argc, argv);
-    SimConfig cfg = benchutil::defaultConfig();
+    SimConfig cfg = benchutil::defaultConfig(opts);
     cfg.instructionsPerCore /= 2;
 
     const std::vector<DesignKind> &designs = evaluatedDesigns();

@@ -23,7 +23,7 @@ int
 main(int argc, char **argv)
 {
     benchutil::BenchOptions opts = benchutil::parseBenchArgs(argc, argv);
-    SimConfig cfg = benchutil::defaultConfig();
+    SimConfig cfg = benchutil::defaultConfig(opts);
 
     const std::vector<std::string> &benches = specBenchmarks();
     const std::vector<DesignKind> &designs = evaluatedDesigns();

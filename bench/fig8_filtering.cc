@@ -23,7 +23,7 @@ int
 main(int argc, char **argv)
 {
     benchutil::BenchOptions opts = benchutil::parseBenchArgs(argc, argv);
-    SimConfig base = benchutil::defaultConfig();
+    SimConfig base = benchutil::defaultConfig(opts);
     const unsigned kThresholds[] = {8, 4, 2, 1};
     const std::size_t kNumTh = 4;
 

@@ -19,7 +19,7 @@ int
 main(int argc, char **argv)
 {
     benchutil::BenchOptions opts = benchutil::parseBenchArgs(argc, argv);
-    SimConfig base = benchutil::defaultConfig();
+    SimConfig base = benchutil::defaultConfig(opts);
     const std::uint64_t kCapacities[] = {32 * KiB, 64 * KiB, 128 * KiB,
                                          256 * KiB};
     const char *kLabels[] = {"32KB", "64KB", "128KB", "256KB"};

@@ -18,7 +18,7 @@ int
 main(int argc, char **argv)
 {
     benchutil::BenchOptions opts = benchutil::parseBenchArgs(argc, argv);
-    SimConfig base = benchutil::defaultConfig();
+    SimConfig base = benchutil::defaultConfig(opts);
     const unsigned kGroups[] = {8, 16, 32, 64};
 
     const std::vector<std::string> &benches = specBenchmarks();

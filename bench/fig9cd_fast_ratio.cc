@@ -53,7 +53,7 @@ int
 main(int argc, char **argv)
 {
     benchutil::BenchOptions opts = benchutil::parseBenchArgs(argc, argv);
-    SimConfig base = benchutil::defaultConfig();
+    SimConfig base = benchutil::defaultConfig(opts);
 
     const std::vector<std::string> &benches = specBenchmarks();
     const FastReplPolicy kRepls[] = {FastReplPolicy::Random,

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 #include "common/log.hh"
 
@@ -264,6 +265,21 @@ class Parser
                 return fail("bad literal");
             out.kind = JsonValue::Kind::Null;
             return true;
+          case 'N':
+            // Extension: some producers emit bare NaN/Infinity for
+            // non-finite stats. Our writer never does (it emits null),
+            // but the comparison tooling must be able to read them.
+            if (!literal("NaN"))
+                return fail("bad literal");
+            out.kind = JsonValue::Kind::Number;
+            out.number = std::numeric_limits<double>::quiet_NaN();
+            return true;
+          case 'I':
+            if (!literal("Infinity"))
+                return fail("bad literal");
+            out.kind = JsonValue::Kind::Number;
+            out.number = std::numeric_limits<double>::infinity();
+            return true;
           default:
             return parseNumber(out);
         }
@@ -275,6 +291,11 @@ class Parser
         std::size_t start = pos_;
         if (pos_ < text_.size() && text_[pos_] == '-')
             ++pos_;
+        if (literal("Infinity")) {
+            out.kind = JsonValue::Kind::Number;
+            out.number = -std::numeric_limits<double>::infinity();
+            return true;
+        }
         while (pos_ < text_.size() &&
                (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
                 text_[pos_] == '.' || text_[pos_] == 'e' ||

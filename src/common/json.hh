@@ -9,6 +9,9 @@
  * reader used by the comparison tooling; it supports the full JSON
  * grammar this repo emits (objects, arrays, strings, numbers, bools,
  * null) and nothing exotic (no \u surrogate pairs beyond the BMP).
+ * As an input extension it also accepts bare NaN / Infinity /
+ * -Infinity number literals, which other tools' JSONL emitters
+ * sometimes produce for non-finite stats (our writer emits null).
  */
 
 #ifndef DASDRAM_COMMON_JSON_HH

@@ -1,0 +1,147 @@
+#include "jsonl_diff.hh"
+
+#include <cmath>
+#include <fstream>
+
+#include "common/strfmt.hh"
+
+namespace dasdram
+{
+
+std::string
+jsonlRecordKey(const JsonValue &v)
+{
+    auto str = [&](const char *name) {
+        const JsonValue *f = v.find(name);
+        return f && f->isString() ? f->string : std::string("?");
+    };
+    return str("workload") + " | " + str("design") + " | " +
+           str("label");
+}
+
+bool
+loadJsonlRecords(const std::string &path, JsonlRecordMap &out,
+                 std::string *err)
+{
+    std::ifstream is(path);
+    if (!is) {
+        if (err)
+            *err = formatStr("cannot open '{}'", path);
+        return false;
+    }
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        JsonValue v;
+        std::string parse_err;
+        if (!parseJson(line, v, &parse_err)) {
+            if (err)
+                *err = formatStr("{}:{}: {}", path, lineno, parse_err);
+            return false;
+        }
+        if (!v.isObject()) {
+            if (err)
+                *err = formatStr("{}:{}: not an object", path, lineno);
+            return false;
+        }
+        out[jsonlRecordKey(v)] = std::move(v);
+    }
+    return true;
+}
+
+bool
+numbersEqual(double a, double b, double tol)
+{
+    if (std::isnan(a) || std::isnan(b))
+        return std::isnan(a) && std::isnan(b);
+    if (std::isinf(a) || std::isinf(b))
+        return a == b; // same-sign infinities compare equal exactly
+    if (a == b)
+        return true;
+    if (tol <= 0.0)
+        return false;
+    double scale = std::max(std::fabs(a), std::fabs(b));
+    return std::fabs(a - b) <= tol * std::max(scale, 1.0);
+}
+
+std::size_t
+diffJsonValues(const std::string &path, const JsonValue &a,
+               const JsonValue &b, double tolerance,
+               const std::function<void(const std::string &,
+                                        const std::string &)> &report)
+{
+    auto note = [&](const std::string &msg) {
+        if (report)
+            report(path, msg);
+    };
+
+    if (a.kind != b.kind) {
+        note("kind mismatch");
+        return 1;
+    }
+    switch (a.kind) {
+      case JsonValue::Kind::Number:
+        if (!numbersEqual(a.number, b.number, tolerance)) {
+            char buf[96];
+            std::snprintf(buf, sizeof(buf), "%.17g != %.17g", a.number,
+                          b.number);
+            note(buf);
+            return 1;
+        }
+        return 0;
+      case JsonValue::Kind::String:
+        if (a.string != b.string) {
+            note("\"" + a.string + "\" != \"" + b.string + "\"");
+            return 1;
+        }
+        return 0;
+      case JsonValue::Kind::Bool:
+        if (a.boolean != b.boolean) {
+            note("bool mismatch");
+            return 1;
+        }
+        return 0;
+      case JsonValue::Kind::Null:
+        return 0;
+      case JsonValue::Kind::Array: {
+        if (a.array.size() != b.array.size()) {
+            note("array length mismatch");
+            return 1;
+        }
+        std::size_t diffs = 0;
+        for (std::size_t i = 0; i < a.array.size(); ++i)
+            diffs += diffJsonValues(path + "[" + std::to_string(i) +
+                                        "]",
+                                    a.array[i], b.array[i], tolerance,
+                                    report);
+        return diffs;
+      }
+      case JsonValue::Kind::Object: {
+        std::size_t diffs = 0;
+        for (const auto &[k, av] : a.object) {
+            const JsonValue *bv = b.find(k);
+            if (!bv) {
+                note("missing field '" + k + "' in B");
+                ++diffs;
+                continue;
+            }
+            diffs += diffJsonValues(path + "." + k, av, *bv, tolerance,
+                                    report);
+        }
+        for (const auto &[k, bv] : b.object) {
+            (void)bv;
+            if (!a.find(k)) {
+                note("extra field '" + k + "' in B");
+                ++diffs;
+            }
+        }
+        return diffs;
+      }
+    }
+    return 0;
+}
+
+} // namespace dasdram

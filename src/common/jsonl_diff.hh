@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Library half of dasdram_compare: load JSONL sweep-result files keyed
+ * by (workload, design, label) and diff them field by field. Lives in
+ * the common library (rather than the tool) so the comparison rules —
+ * in particular tolerance symmetry and NaN/infinity semantics — are
+ * unit-testable.
+ */
+
+#ifndef DASDRAM_COMMON_JSONL_DIFF_HH
+#define DASDRAM_COMMON_JSONL_DIFF_HH
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/json.hh"
+
+namespace dasdram
+{
+
+/** Parsed JSONL records keyed by "workload | design | label". */
+using JsonlRecordMap = std::map<std::string, JsonValue>;
+
+/** The "workload | design | label" key of one record. Missing or
+ *  non-string fields render as "?". */
+std::string jsonlRecordKey(const JsonValue &v);
+
+/**
+ * Load a JSONL file into @p out (later records win duplicate keys,
+ * matching the append-style files the sweep tools produce). Blank
+ * lines are skipped. On failure, returns false and describes the
+ * problem (with file:line) in @p err.
+ */
+bool loadJsonlRecords(const std::string &path, JsonlRecordMap &out,
+                      std::string *err);
+
+/**
+ * Numeric equality under a symmetric relative tolerance:
+ *
+ *   |a - b| <= tol * max(|a|, |b|, 1)
+ *
+ * The scale is the larger magnitude of the two values, so
+ * numbersEqual(a, b, tol) == numbersEqual(b, a, tol) always — which
+ * file is A and which is B cannot change the verdict. (The floor of 1
+ * makes the tolerance absolute for sub-unit values, so near-zero
+ * stats do not demand exact equality.)
+ *
+ * Non-finite values compare by class, not by arithmetic: NaN equals
+ * NaN, +inf equals +inf, -inf equals -inf, and any finite/non-finite
+ * or sign mixture is unequal regardless of tolerance. Two runs that
+ * both produced "no data" (0/0) should diff clean.
+ */
+bool numbersEqual(double a, double b, double tol);
+
+/**
+ * Recursively diff @p a against @p b, invoking @p report with a
+ * "<path> <message>" description per difference (pass nullptr to just
+ * count). @p path names the current node ("" at the root). Returns
+ * the number of differences.
+ */
+std::size_t
+diffJsonValues(const std::string &path, const JsonValue &a,
+               const JsonValue &b, double tolerance,
+               const std::function<void(const std::string &path,
+                                        const std::string &msg)> &report);
+
+} // namespace dasdram
+
+#endif // DASDRAM_COMMON_JSONL_DIFF_HH

@@ -90,6 +90,8 @@ Bank::reset()
     reservedUntil_ = 0;
     resRowLo_ = 0;
     resRowHi_ = 0;
+    resExemptA_ = kAddrInvalid;
+    resExemptB_ = kAddrInvalid;
 }
 
 } // namespace dasdram

@@ -1,0 +1,40 @@
+#include "cmd_trace.hh"
+
+#include <ostream>
+
+namespace dasdram
+{
+
+void
+CommandTrace::onCommand(const CmdRecord &rec)
+{
+    std::ostream &os = *os_;
+    os << rec.cycle << ' ' << toString(rec.cmd) << " ch" << rec.channel
+       << " ra" << rec.rank;
+    switch (rec.cmd) {
+      case DramCommand::ACT:
+      case DramCommand::PRE:
+        os << " ba" << rec.bank << " row=" << rec.row
+           << " cls=" << (rec.rowClass == RowClass::Fast ? 'F' : 'S');
+        break;
+      case DramCommand::RD:
+      case DramCommand::WR:
+        os << " ba" << rec.bank << " row=" << rec.row
+           << " cls=" << (rec.rowClass == RowClass::Fast ? 'F' : 'S')
+           << " col=" << rec.column;
+        break;
+      case DramCommand::REF:
+        os << " dur=" << rec.duration;
+        break;
+      case DramCommand::MIGRATE:
+        os << " ba" << rec.bank << " rowA=" << rec.row
+           << " rowB=" << rec.rowB << " range=[" << rec.rowLo << ','
+           << rec.rowHi << ") id=" << rec.migrationId
+           << " dur=" << rec.duration;
+        break;
+    }
+    os << '\n';
+    ++count_;
+}
+
+} // namespace dasdram

@@ -13,7 +13,7 @@ ChannelController::ChannelController(unsigned channel_id,
                                      const RowClassifier &classifier,
                                      const ControllerConfig &cfg)
     : channelId_(channel_id), geom_(geom), timing_(&timing),
-      classifier_(&classifier), cfg_(cfg),
+      classifier_(&classifier), cfg_(cfg), sink_(cfg.cmdSink),
       statGroup_("channel" + std::to_string(channel_id))
 {
     ranks_.reserve(geom.ranksPerChannel);
@@ -87,7 +87,25 @@ ChannelController::writeQueued(Addr line_addr) const
 void
 ChannelController::addMigration(MigrationJob job)
 {
+    job.id = nextMigrationId_++;
     migrations_.push_back(std::move(job));
+}
+
+void
+ChannelController::emitPrecharge(Cycle now, unsigned rank_id,
+                                 unsigned bank_id, const Bank &bank)
+{
+    if (!sink_)
+        return;
+    CmdRecord rec;
+    rec.cycle = now;
+    rec.cmd = DramCommand::PRE;
+    rec.channel = channelId_;
+    rec.rank = rank_id;
+    rec.bank = bank_id;
+    rec.row = bank.openRow();
+    rec.rowClass = bank.openRowClass();
+    sink_->onCommand(rec);
 }
 
 void
@@ -149,6 +167,7 @@ ChannelController::serviceRefresh(Cycle now)
             Bank &bank = rank.bank(bi);
             if (bank.hasOpenRow()) {
                 if (bank.canPrecharge(now)) {
+                    emitPrecharge(now, ri, bi, bank);
                     bank.precharge(now);
                     precharges_.inc();
                     return true;
@@ -161,6 +180,15 @@ ChannelController::serviceRefresh(Cycle now)
         if (all_ready) {
             rank.refresh(now);
             refreshes_.inc();
+            if (sink_) {
+                CmdRecord rec;
+                rec.cycle = now;
+                rec.cmd = DramCommand::REF;
+                rec.channel = channelId_;
+                rec.rank = ri;
+                rec.duration = timing_->tRFC;
+                sink_->onCommand(rec);
+            }
             return true;
         }
     }
@@ -188,6 +216,10 @@ ChannelController::serviceMigrations(Cycle now)
             continue;
         if (cfg_.refreshEnabled && rank.refreshDue(now))
             continue; // let the refresh drain first
+        // The migration drives the cell array like back-to-back ACTs:
+        // it must wait out any pending tRP/tRC/tRFC window.
+        if (now < bank.actAllowedAt())
+            continue;
 
         if (job.enqueuedAt == kCycleMax)
             job.enqueuedAt = now;
@@ -219,6 +251,7 @@ ChannelController::serviceMigrations(Cycle now)
             // The open row sits in the migration's subarrays: close it
             // first (its row buffer is needed for the transfer).
             if (bank.canPrecharge(now)) {
+                emitPrecharge(now, job.rank, job.bank, bank);
                 bank.precharge(now);
                 precharges_.inc();
                 return true;
@@ -229,6 +262,21 @@ ChannelController::serviceMigrations(Cycle now)
         Cycle dur =
             job.fullSwap ? timing_->swapCycles : timing_->migrationCycles;
         bank.reserve(now, dur, row_lo, row_hi, job.rowA, job.rowB);
+        if (sink_) {
+            CmdRecord rec;
+            rec.cycle = now;
+            rec.cmd = DramCommand::MIGRATE;
+            rec.channel = channelId_;
+            rec.rank = job.rank;
+            rec.bank = job.bank;
+            rec.row = job.rowA;
+            rec.rowB = job.rowB;
+            rec.rowLo = row_lo;
+            rec.rowHi = row_hi;
+            rec.migrationId = job.id;
+            rec.duration = dur;
+            sink_->onCommand(rec);
+        }
         activeMigrations_.emplace_back(now + dur, std::move(job));
         migrations_.erase(it);
         return true;
@@ -272,6 +320,18 @@ ChannelController::tryColumn(MemRequest &req, Cycle now)
     nextColAllowedAt_ = now + timing_->tCCD;
     lastBusRank_ = static_cast<int>(req.loc.rank);
     lastBusWasWrite_ = req.isWrite;
+    if (sink_) {
+        CmdRecord rec;
+        rec.cycle = now;
+        rec.cmd = req.isWrite ? DramCommand::WR : DramCommand::RD;
+        rec.channel = channelId_;
+        rec.rank = req.loc.rank;
+        rec.bank = req.loc.bank;
+        rec.row = req.loc.row;
+        rec.column = req.loc.column;
+        rec.rowClass = bank.openRowClass();
+        sink_->onCommand(rec);
+    }
     if (req.location == ServiceLocation::Unknown) {
         req.location = ServiceLocation::RowBuffer;
         rowHits_.inc();
@@ -339,6 +399,7 @@ ChannelController::tryRowCommand(MemRequest &req, Cycle now)
             return false;
         if (!bank.canPrecharge(now))
             return false;
+        emitPrecharge(now, req.loc.rank, req.loc.bank, bank);
         bank.precharge(now);
         precharges_.inc();
         return true;
@@ -353,6 +414,17 @@ ChannelController::tryRowCommand(MemRequest &req, Cycle now)
                                          req.loc.bank, req.loc.row);
     bank.activate(now, req.loc.row, cls);
     rank.recordActivate(now);
+    if (sink_) {
+        CmdRecord rec;
+        rec.cycle = now;
+        rec.cmd = DramCommand::ACT;
+        rec.channel = channelId_;
+        rec.rank = req.loc.rank;
+        rec.bank = req.loc.bank;
+        rec.row = req.loc.row;
+        rec.rowClass = cls;
+        sink_->onCommand(rec);
+    }
     if (cls == RowClass::Fast) {
         actsFast_.inc();
         req.location = ServiceLocation::FastLevel;
@@ -419,14 +491,18 @@ ChannelController::tick(Cycle now)
         auto &secondary = drainingWrites_ ? readQueue_ : writeQueue_;
         issued = issueFromQueue(primary, now);
         if (!issued)
-            issueFromQueue(secondary, now);
+            issued = issueFromQueue(secondary, now);
     }
 
-    // Closed-page: precharge banks with no pending work for their row.
-    if (cfg_.page == PagePolicy::Closed) {
-        for (unsigned ri = 0; ri < ranks_.size(); ++ri) {
+    // Closed-page: precharge one bank with no pending work for its
+    // row. At most one PRE per cycle — the command bus carries a
+    // single command per channel per cycle, and it is already taken
+    // when something issued above.
+    if (cfg_.page == PagePolicy::Closed && !issued) {
+        for (unsigned ri = 0; ri < ranks_.size() && !issued; ++ri) {
             Rank &rank = ranks_[ri];
-            for (unsigned bi = 0; bi < rank.numBanks(); ++bi) {
+            for (unsigned bi = 0; bi < rank.numBanks() && !issued;
+                 ++bi) {
                 Bank &bank = rank.bank(bi);
                 if (!bank.hasOpenRow() || !bank.canPrecharge(now))
                     continue;
@@ -441,8 +517,10 @@ ChannelController::tick(Cycle now)
                 };
                 if (!targets_open(readQueue_) &&
                     !targets_open(writeQueue_)) {
+                    emitPrecharge(now, ri, bi, bank);
                     bank.precharge(now);
                     precharges_.inc();
+                    issued = true;
                 }
             }
         }

@@ -19,6 +19,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "dram/bank.hh"
+#include "dram/cmd_trace.hh"
 #include "dram/geometry.hh"
 #include "dram/rank.hh"
 #include "dram/row_class.hh"
@@ -59,6 +60,14 @@ struct ControllerConfig
      * (then they force their way in to avoid starvation).
      */
     Cycle migrationMaxDefer = 1600; // 2 us at 800 MHz
+
+    /**
+     * Observer for every issued command (protocol checker, trace
+     * writer). Zero cost when null: no record is even built. Must
+     * outlive the controller. Also settable post-construction via
+     * ChannelController::setCommandSink().
+     */
+    CommandSink *cmdSink = nullptr;
 };
 
 /** An internal row migration or swap to run in one bank. */
@@ -74,6 +83,8 @@ struct MigrationJob
     std::uint64_t rowLo = 0;
     std::uint64_t rowHi = 0;
     Cycle enqueuedAt = kCycleMax; ///< stamped by the controller
+    /** Nonzero per-channel job id, stamped by addMigration(). */
+    std::uint64_t id = 0;
     /** Called at completion with the finish cycle. */
     std::function<void(Cycle)> onDone;
 };
@@ -128,6 +139,9 @@ class ChannelController
     /** Outstanding work (queues, in-flight, migrations)? */
     bool busy() const;
 
+    /** Attach (or detach with nullptr) the command observer. */
+    void setCommandSink(CommandSink *sink) { sink_ = sink; }
+
     /// @name Introspection & statistics
     /// @{
     Rank &rank(unsigned i) { return ranks_[i]; }
@@ -179,6 +193,13 @@ class ChannelController
     void finish(std::unique_ptr<MemRequest> req, Cycle at,
                 ServiceLocation fallback_loc);
 
+    /**
+     * Report a PRE closing @p bank's open row (call before
+     * Bank::precharge, while the row is still visible).
+     */
+    void emitPrecharge(Cycle now, unsigned rank_id, unsigned bank_id,
+                       const Bank &bank);
+
     unsigned channelId_;
     DramGeometry geom_;
     const DramTiming *timing_;
@@ -195,6 +216,9 @@ class ChannelController
     std::priority_queue<Completion, std::vector<Completion>,
                         std::greater<Completion>> completions_;
     std::vector<std::unique_ptr<MemRequest>> inflight_;
+
+    CommandSink *sink_ = nullptr;
+    std::uint64_t nextMigrationId_ = 1;
 
     std::deque<MigrationJob> migrations_;
     /** Migration completion events: (cycle, index into migrations_). */

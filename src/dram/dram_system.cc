@@ -84,6 +84,13 @@ DramSystem::startMigration(unsigned channel, unsigned rank, unsigned bank,
 }
 
 void
+DramSystem::setCommandSink(CommandSink *sink)
+{
+    for (const auto &ch : channels_)
+        ch->setCommandSink(sink);
+}
+
+void
 DramSystem::tick(Cycle now_tick)
 {
     const Cycle target = now_tick / kMemTick;

@@ -70,6 +70,12 @@ class DramSystem
                         std::uint64_t row_hi,
                         std::function<void(Cycle)> on_done);
 
+    /**
+     * Attach a command observer (protocol checker / trace writer) to
+     * every channel; nullptr detaches. Must outlive the system.
+     */
+    void setCommandSink(CommandSink *sink);
+
     /** Advance the memory clock up to @p now_tick (call monotonically). */
     void tick(Cycle now_tick);
 

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Online DRAM protocol checker: replays the command stream a
+ * ChannelController emits against an independent reimplementation of
+ * the timing rules in dram/timing.hh. It shares no state with Bank /
+ * Rank / ChannelController — only the DramTiming parameters and the
+ * geometry — so a scheduling bug in the controller cannot silently
+ * relax the rules it is checked against.
+ *
+ * Checked rules (see DESIGN.md "Protocol checker" for the full table):
+ *  - per-bank:   tRCD, tRAS, tRP, tRC, tRTP, tWR — per row class
+ *  - per-rank:   tRRD, tFAW (4-ACT window), tWTR, refresh drain + tRFC
+ *  - per-channel: tCCD, data-bus burst occupancy + tRTRS,
+ *                 one command per channel per cycle, monotonic time
+ *  - DAS:        migration-window exclusivity, no ACT/column command
+ *                to a row mid-migration, row-class coherence against
+ *                the row classifier
+ */
+
+#ifndef DASDRAM_DRAM_PROTOCOL_CHECKER_HH
+#define DASDRAM_DRAM_PROTOCOL_CHECKER_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/cmd_trace.hh"
+#include "dram/geometry.hh"
+#include "dram/row_class.hh"
+#include "dram/timing.hh"
+
+namespace dasdram
+{
+
+/**
+ * A CommandSink that validates every command against the DDR3 / DAS
+ * timing state machine. Violations are collected (bounded message
+ * list, unbounded count); callers decide whether to panic.
+ */
+class ProtocolChecker : public CommandSink
+{
+  public:
+    /**
+     * @param geom       channel/rank/bank shape of the checked system.
+     * @param timing     the *reference* timing the stream must respect
+     *                   (copied). Pass the true device timing even when
+     *                   the controller under test runs modified timing.
+     * @param classifier optional row-class oracle; when given, the row
+     *        class stamped on each ACT is checked against it. Must
+     *        outlive the checker.
+     */
+    ProtocolChecker(const DramGeometry &geom, const DramTiming &timing,
+                    const RowClassifier *classifier = nullptr);
+
+    void onCommand(const CmdRecord &rec) override;
+
+    /// @name Results
+    /// @{
+    std::uint64_t commandCount() const { return commands_; }
+    std::uint64_t violationCount() const { return violations_; }
+
+    /** First violation message ("" when clean). */
+    const std::string &
+    firstViolation() const
+    {
+        static const std::string empty;
+        return messages_.empty() ? empty : messages_.front();
+    }
+
+    /** Stored violation messages (first kMaxStoredMessages). */
+    const std::vector<std::string> &messages() const { return messages_; }
+
+    /** One-paragraph summary (command count, violations, first few). */
+    void report(std::ostream &os) const;
+    /// @}
+
+    /** Forget all state and results (e.g. between fuzz cases). */
+    void reset();
+
+    /** At most this many violation messages are retained. */
+    static constexpr std::size_t kMaxStoredMessages = 32;
+
+  private:
+    struct BankState
+    {
+        bool open = false;
+        std::uint64_t row = 0;
+        RowClass cls = RowClass::Slow;
+        Cycle earliestAct = 0; ///< tRC / tRP / tRFC
+        Cycle earliestPre = 0; ///< tRAS / tRTP / tWR
+        Cycle earliestCol = 0; ///< ACT + tRCD (valid while open)
+        Cycle reservedUntil = 0;
+        std::uint64_t resLo = 0;
+        std::uint64_t resHi = 0;
+        std::uint64_t exemptA = kAddrInvalid;
+        std::uint64_t exemptB = kAddrInvalid;
+
+        bool reserved(Cycle now) const { return now < reservedUntil; }
+
+        bool
+        rowBlocked(Cycle now, std::uint64_t r) const
+        {
+            return reserved(now) && r >= resLo && r < resHi &&
+                   r != exemptA && r != exemptB;
+        }
+    };
+
+    struct RankState
+    {
+        Cycle actTimes[4] = {0, 0, 0, 0}; ///< ring of recent ACTs
+        unsigned actHead = 0;
+        std::uint64_t actCount = 0;
+        Cycle lastActAt = 0;
+        Cycle readAllowedAt = 0; ///< tWTR
+    };
+
+    struct ChannelState
+    {
+        Cycle lastCmdAt = 0;
+        bool anyCmd = false;
+        Cycle nextColAllowedAt = 0; ///< tCCD
+        Cycle dataBusFreeAt = 0;
+        int lastBusRank = -1;
+        bool lastBusWasWrite = false;
+    };
+
+    BankState &bankAt(const CmdRecord &rec);
+    RankState &rankAt(const CmdRecord &rec);
+
+    void checkAct(const CmdRecord &rec);
+    void checkColumn(const CmdRecord &rec);
+    void checkPre(const CmdRecord &rec);
+    void checkRef(const CmdRecord &rec);
+    void checkMigrate(const CmdRecord &rec);
+
+    /** Record a violation for @p rec with an explanation. */
+    void fail(const CmdRecord &rec, std::string what);
+
+    DramGeometry geom_;
+    DramTiming timing_;
+    const RowClassifier *classifier_;
+
+    std::vector<BankState> banks_;       ///< [channel][rank][bank]
+    std::vector<RankState> ranks_;       ///< [channel][rank]
+    std::vector<ChannelState> channels_; ///< [channel]
+
+    std::uint64_t commands_ = 0;
+    std::uint64_t violations_ = 0;
+    std::vector<std::string> messages_;
+};
+
+} // namespace dasdram
+
+#endif // DASDRAM_DRAM_PROTOCOL_CHECKER_HH

@@ -1,0 +1,235 @@
+#include "fuzz.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/log.hh"
+#include "common/random.hh"
+#include "dram/dram_system.hh"
+#include "dram/protocol_checker.hh"
+#include "dram/row_class.hh"
+#include "mem/clock.hh"
+#include "sim/sweep.hh"
+
+namespace dasdram
+{
+
+namespace
+{
+
+/** Row-class oracle for @p design, mirroring System's choice. */
+std::unique_ptr<RowClassifier>
+makeUniformClassifier(const DesignSpec &spec)
+{
+    if (spec.allFast)
+        return std::make_unique<UniformRowClassifier>(RowClass::Fast);
+    if (!spec.heterogeneous)
+        return std::make_unique<UniformRowClassifier>(RowClass::Slow);
+    return nullptr; // use the asymmetric layout
+}
+
+/** A traffic row: mostly a hot slice at the bottom of the bank, with
+ *  1/8 of picks from the top slice to exercise address-space edges. */
+std::uint64_t
+pickRow(Rng &rng, const FuzzCase &c)
+{
+    std::uint64_t spread =
+        std::min<std::uint64_t>(c.rowSpread, c.geom.rowsPerBank);
+    std::uint64_t off = rng.nextBelow(spread);
+    if (c.geom.rowsPerBank > spread && rng.chance(0.125))
+        return c.geom.rowsPerBank - spread + off;
+    return off;
+}
+
+/** parseDesign()-compatible short name, safe for --filter replay. */
+const char *
+shortDesignName(DesignKind kind)
+{
+    switch (kind) {
+      case DesignKind::Standard: return "standard";
+      case DesignKind::Sas: return "sas";
+      case DesignKind::Charm: return "charm";
+      case DesignKind::Das: return "das";
+      case DesignKind::DasFm: return "das-fm";
+      case DesignKind::Fs: return "fs";
+    }
+    return "?";
+}
+
+} // namespace
+
+FuzzReport
+runProtocolFuzz(const FuzzCase &c)
+{
+    const DesignSpec &spec = designSpec(c.design);
+    DramTiming t = ddr3_1600Timing(spec.charmColumnOpt);
+    return runProtocolFuzz(c, t, t);
+}
+
+FuzzReport
+runProtocolFuzz(const FuzzCase &c, const DramTiming &dut,
+                const DramTiming &reference, CommandSink *extra_sink)
+{
+    const DesignSpec &spec = designSpec(c.design);
+    AsymmetricLayout layout(c.geom, c.layout);
+    std::unique_ptr<RowClassifier> uniform = makeUniformClassifier(spec);
+    const RowClassifier &cls =
+        uniform ? static_cast<const RowClassifier &>(*uniform)
+                : static_cast<const RowClassifier &>(layout);
+
+    ProtocolChecker checker(c.geom, reference, &cls);
+    CommandFanout fanout;
+    fanout.addSink(&checker);
+    fanout.addSink(extra_sink);
+
+    DramSystem dram(c.geom, dut, cls, c.ctrl, c.mapping);
+    dram.setCommandSink(&fanout);
+
+    FuzzReport rep;
+    rep.name = c.name;
+    rep.seed = c.seed;
+
+    Rng rng(c.seed);
+    const std::uint64_t columns = c.geom.rowBytes / c.geom.lineBytes;
+    const unsigned fast_slots = layout.fastSlotsPerGroup();
+    const unsigned group_size = layout.groupSize();
+    // Limit migration injection to groups the demand traffic also
+    // touches, so reservations and requests genuinely collide.
+    const std::uint64_t mig_groups = std::max<std::uint64_t>(
+        1, std::min<std::uint64_t>(c.rowSpread / group_size,
+                                   layout.groupsPerBank()));
+
+    std::uint64_t pending_migrations = 0;
+    std::uint64_t next_req_id = 1;
+
+    // Generous budget: a stuck controller fails the case as !drained
+    // instead of hanging the harness.
+    const Cycle max_mem_cycles =
+        100'000 + 500ull * std::max(1u, c.requests);
+
+    Cycle now_tick = 0;
+    for (Cycle mem_cycle = 0; mem_cycle < max_mem_cycles; ++mem_cycle) {
+        // Inject 0-2 demand requests per cycle while traffic remains.
+        unsigned burst = static_cast<unsigned>(rng.nextBelow(3));
+        for (unsigned i = 0; i < burst && rep.submitted < c.requests;
+             ++i) {
+            auto req = std::make_unique<MemRequest>();
+            req->id = next_req_id++;
+            req->isWrite = rng.chance(c.writeFraction);
+            req->loc.channel = static_cast<unsigned>(
+                rng.nextBelow(c.geom.channels));
+            req->loc.rank = static_cast<unsigned>(
+                rng.nextBelow(c.geom.ranksPerChannel));
+            req->loc.bank = static_cast<unsigned>(
+                rng.nextBelow(c.geom.banksPerRank));
+            req->loc.row = pickRow(rng, c);
+            req->loc.column = rng.nextBelow(columns);
+            req->addr = dram.mapper().encode(req->loc);
+            req->onComplete = [&rep](MemRequest &, Cycle) {
+                ++rep.completed;
+            };
+            if (!dram.canAccept(req->loc, req->isWrite))
+                break;
+            dram.submit(std::move(req), now_tick);
+            ++rep.submitted;
+        }
+
+        // Inject migration/swap jobs against the same row region.
+        if (c.migrationChance > 0.0 && pending_migrations < 16 &&
+            rng.chance(c.migrationChance)) {
+            unsigned ch = static_cast<unsigned>(
+                rng.nextBelow(c.geom.channels));
+            unsigned ra = static_cast<unsigned>(
+                rng.nextBelow(c.geom.ranksPerChannel));
+            unsigned ba = static_cast<unsigned>(
+                rng.nextBelow(c.geom.banksPerRank));
+            std::uint64_t base =
+                layout.groupBaseRow(rng.nextBelow(mig_groups));
+            std::uint64_t row_b = base + rng.nextBelow(fast_slots);
+            std::uint64_t row_a =
+                base + fast_slots +
+                rng.nextBelow(group_size - fast_slots);
+            bool full_swap = rng.chance(0.7);
+            ++pending_migrations;
+            ++rep.migrationsStarted;
+            dram.startMigration(ch, ra, ba, row_a, row_b, full_swap,
+                                base, base + group_size,
+                                [&rep, &pending_migrations](Cycle) {
+                                    ++rep.migrationsDone;
+                                    --pending_migrations;
+                                });
+        }
+
+        now_tick += kMemTick;
+        dram.tick(now_tick);
+
+        if (rep.submitted >= c.requests &&
+            rep.completed >= rep.submitted && !dram.busy()) {
+            rep.drained = true;
+            break;
+        }
+    }
+
+    rep.commands = checker.commandCount();
+    rep.violations = checker.violationCount();
+    rep.firstViolation = checker.firstViolation();
+    return rep;
+}
+
+std::vector<FuzzCase>
+defaultFuzzCases(std::uint64_t base_seed, unsigned requests)
+{
+    struct Corner
+    {
+        const char *name;
+        void (*apply)(FuzzCase &);
+        bool migrationOnly; ///< corner only meaningful with migrations
+    };
+    static const Corner corners[] = {
+        {"base", [](FuzzCase &) {}, false},
+        {"fcfs",
+         [](FuzzCase &c) { c.ctrl.sched = SchedPolicy::Fcfs; }, false},
+        {"closed",
+         [](FuzzCase &c) { c.ctrl.page = PagePolicy::Closed; }, false},
+        {"tiny-queues",
+         [](FuzzCase &c) {
+             c.ctrl.readQueueDepth = 4;
+             c.ctrl.writeQueueDepth = 4;
+             c.ctrl.writeHighWatermark = 3;
+             c.ctrl.writeLowWatermark = 1;
+         },
+         false},
+        {"no-refresh",
+         [](FuzzCase &c) { c.ctrl.refreshEnabled = false; }, false},
+        {"defer0",
+         [](FuzzCase &c) { c.ctrl.migrationMaxDefer = 0; }, true},
+    };
+    static const DesignKind designs[] = {
+        DesignKind::Standard, DesignKind::Sas,   DesignKind::Charm,
+        DesignKind::Das,      DesignKind::DasFm, DesignKind::Fs,
+    };
+
+    std::vector<FuzzCase> cases;
+    for (DesignKind design : designs) {
+        // DAS designs get migration traffic; the static designs only
+        // see demand requests (they never issue MIGRATE).
+        bool migrates =
+            design == DesignKind::Das || design == DesignKind::DasFm;
+        for (const Corner &corner : corners) {
+            if (corner.migrationOnly && !migrates)
+                continue;
+            FuzzCase c;
+            c.design = design;
+            c.name = std::string(shortDesignName(design)) + "/" +
+                     corner.name;
+            c.requests = requests;
+            c.migrationChance = migrates ? 0.02 : 0.0;
+            corner.apply(c);
+            c.seed = SweepRunner::pointSeed(base_seed, c.name, design);
+            cases.push_back(std::move(c));
+        }
+    }
+    return cases;
+}
+
+} // namespace dasdram

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Deterministic protocol-fuzz harness: drives randomized synthetic
+ * request/migration traffic through a DramSystem with the online
+ * ProtocolChecker attached, across all designs and controller-config
+ * corners. Every case derives its RNG stream from
+ * SweepRunner::pointSeed(base seed, case name, design), so any failure
+ * replays from one line:
+ *
+ *   dasdram_fuzz --seed <base> --requests <n> --filter <case name>
+ */
+
+#ifndef DASDRAM_SIM_FUZZ_HH
+#define DASDRAM_SIM_FUZZ_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/designs.hh"
+#include "core/subarray_layout.hh"
+#include "dram/cmd_trace.hh"
+#include "dram/controller.hh"
+#include "dram/geometry.hh"
+#include "dram/timing.hh"
+
+namespace dasdram
+{
+
+/** One fuzz scenario: a design, a controller corner and traffic knobs. */
+struct FuzzCase
+{
+    std::string name;                     ///< "<design>/<corner>"
+    DesignKind design = DesignKind::Das;
+    ControllerConfig ctrl{};
+    DramGeometry geom{};
+    LayoutConfig layout{};
+    MappingScheme mapping = MappingScheme::RoRaBaChCo;
+
+    unsigned requests = 2000;   ///< demand requests to complete
+    double writeFraction = 0.3;
+    /** Per-memory-cycle chance to enqueue a migration/swap job. */
+    double migrationChance = 0.0;
+    /** Rows per bank the traffic concentrates on (plus a slice at the
+     *  top of the bank to hit address-space edges). */
+    unsigned rowSpread = 96;
+    std::uint64_t seed = 1;     ///< effective per-case seed
+};
+
+/** Outcome of one fuzz case. */
+struct FuzzReport
+{
+    std::string name;
+    std::uint64_t seed = 0;
+    std::uint64_t commands = 0;
+    std::uint64_t violations = 0;
+    std::string firstViolation; ///< "" when clean
+    unsigned submitted = 0;
+    unsigned completed = 0;
+    std::uint64_t migrationsStarted = 0;
+    std::uint64_t migrationsDone = 0;
+    bool drained = false; ///< all traffic completed within the budget
+
+    bool ok() const { return violations == 0 && drained; }
+};
+
+/**
+ * Run @p c with the reference DDR3-1600 timing on both the controller
+ * under test and the checker (the clean configuration: any violation
+ * is a controller bug).
+ */
+FuzzReport runProtocolFuzz(const FuzzCase &c);
+
+/**
+ * Run @p c with a split timing: the controller runs @p dut while the
+ * checker validates against @p reference. Passing a @p dut with a
+ * shortened parameter is how tests prove the harness detects injected
+ * timing bugs. @p extra_sink (optional) additionally observes every
+ * command (e.g. a CommandTrace).
+ */
+FuzzReport runProtocolFuzz(const FuzzCase &c, const DramTiming &dut,
+                           const DramTiming &reference,
+                           CommandSink *extra_sink = nullptr);
+
+/**
+ * The standard fuzz grid: designs (standard/sas/charm/das/das-fm/fs) ×
+ * controller corners (default, FCFS, closed-page, tiny queues, refresh
+ * off, zero migration deferral), with per-case seeds derived from
+ * @p base_seed via SweepRunner::pointSeed.
+ */
+std::vector<FuzzCase> defaultFuzzCases(std::uint64_t base_seed,
+                                       unsigned requests);
+
+} // namespace dasdram
+
+#endif // DASDRAM_SIM_FUZZ_HH

@@ -53,6 +53,14 @@ struct SimConfig
     /** Deterministic seed for workload generation etc. */
     std::uint64_t seed = 42;
 
+    /**
+     * Run the online DRAM protocol checker on every issued command and
+     * panic at end-of-run on violations. On by default so every sim
+     * test doubles as a protocol test; turn off to shave the (small)
+     * per-command overhead of long sweeps.
+     */
+    bool protocolCheck = true;
+
     /** MSHR entries (outstanding line fills) per core. */
     unsigned mshrsPerCore = 32;
 

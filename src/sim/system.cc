@@ -30,6 +30,14 @@ System::System(const SimConfig &cfg, std::vector<TraceSource *> traces)
 
     dram_ = std::make_unique<DramSystem>(cfg_.geom, timing_, cls,
                                          cfg_.ctrl);
+    if (cfg_.protocolCheck) {
+        // The checker gets the same row-class oracle as the controller,
+        // so the class stamped on every ACT is cross-checked, and an
+        // independent copy of the reference timing.
+        checker_ = std::make_unique<ProtocolChecker>(cfg_.geom, timing_,
+                                                     &cls);
+        dram_->setCommandSink(checker_.get());
+    }
     caches_ = std::make_unique<CacheHierarchy>(cfg_.numCores, cfg_.caches,
                                                cfg_.seed);
 
@@ -64,6 +72,20 @@ System::System(const SimConfig &cfg, std::vector<TraceSource *> traces)
 }
 
 System::~System() = default;
+
+void
+System::attachCommandTrace(std::ostream &os)
+{
+    cmdTrace_ = std::make_unique<CommandTrace>(os);
+    if (checker_) {
+        cmdFanout_ = std::make_unique<CommandFanout>();
+        cmdFanout_->addSink(checker_.get());
+        cmdFanout_->addSink(cmdTrace_.get());
+        dram_->setCommandSink(cmdFanout_.get());
+    } else {
+        dram_->setCommandSink(cmdTrace_.get());
+    }
+}
 
 void
 System::scheduleEvent(Cycle at, std::function<void()> fn)
@@ -183,6 +205,13 @@ System::run()
     m.memAccesses = das_->demandAccesses();
     m.footprintRows = das_->footprintRows();
     m.energy = dram_->energyBreakdown();
+
+    if (checker_ && checker_->violationCount() > 0) {
+        panic("DRAM protocol checker found {} violation(s) over {} "
+              "commands; first: {}",
+              checker_->violationCount(), checker_->commandCount(),
+              checker_->firstViolation());
+    }
     return m;
 }
 

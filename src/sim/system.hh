@@ -18,6 +18,7 @@
 #include "core/designs.hh"
 #include "cpu/core.hh"
 #include "dram/dram_system.hh"
+#include "dram/protocol_checker.hh"
 #include "sim/sim_config.hh"
 
 namespace dasdram
@@ -99,6 +100,16 @@ class System
     const AsymmetricLayout &layout() const { return *layout_; }
     const SimConfig &config() const { return cfg_; }
 
+    /** The protocol checker (nullptr when cfg.protocolCheck is off). */
+    const ProtocolChecker *protocolChecker() const { return checker_.get(); }
+
+    /**
+     * Additionally write every issued DRAM command to @p os (one line
+     * per command; see dram/cmd_trace.hh). Call before run(); @p os
+     * must outlive the system.
+     */
+    void attachCommandTrace(std::ostream &os);
+
     /** Dump all statistics (post-run) to @p os. */
     void dumpStats(std::ostream &os) const;
 
@@ -115,6 +126,9 @@ class System
     std::unique_ptr<RowClassifier> classifier_;
     std::unique_ptr<AsymmetricLayout> layout_;
     DramTiming timing_;
+    std::unique_ptr<ProtocolChecker> checker_;
+    std::unique_ptr<CommandTrace> cmdTrace_;
+    std::unique_ptr<CommandFanout> cmdFanout_;
     std::unique_ptr<DramSystem> dram_;
     std::unique_ptr<CacheHierarchy> caches_;
     std::unique_ptr<DasManager> das_;

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Tests for the JSONL comparison library behind dasdram_compare:
+ * tolerance symmetry, NaN/infinity semantics, record keying, and
+ * end-to-end diffs of parsed records (including JSONL input that uses
+ * the bare NaN/Infinity extension literals).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/jsonl_diff.hh"
+
+using namespace dasdram;
+
+namespace
+{
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+JsonValue
+parsed(const std::string &text)
+{
+    JsonValue v;
+    std::string err;
+    EXPECT_TRUE(parseJson(text, v, &err)) << err;
+    return v;
+}
+
+std::size_t
+countDiffs(const std::string &a, const std::string &b, double tol = 0.0)
+{
+    return diffJsonValues("", parsed(a), parsed(b), tol, nullptr);
+}
+
+/** RAII temp file holding the given JSONL lines. */
+class TempJsonl
+{
+  public:
+    explicit TempJsonl(const std::vector<std::string> &lines)
+    {
+        static int counter = 0;
+        path_ = testing::TempDir() + "jsonl_diff_test_" +
+                std::to_string(counter++) + ".jsonl";
+        std::ofstream os(path_);
+        for (const std::string &l : lines)
+            os << l << '\n';
+    }
+
+    ~TempJsonl() { std::remove(path_.c_str()); }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+} // namespace
+
+TEST(NumbersEqual, ExactAndTolerance)
+{
+    EXPECT_TRUE(numbersEqual(1.0, 1.0, 0.0));
+    EXPECT_FALSE(numbersEqual(1.0, 1.0 + 1e-9, 0.0));
+    EXPECT_TRUE(numbersEqual(1.0, 1.0 + 1e-9, 1e-6));
+    EXPECT_FALSE(numbersEqual(100.0, 101.0, 1e-6));
+    EXPECT_TRUE(numbersEqual(100.0, 101.0, 0.01));
+    // Sub-unit values: the scale floor of 1 makes tol absolute.
+    EXPECT_TRUE(numbersEqual(1e-9, 2e-9, 1e-6));
+    EXPECT_TRUE(numbersEqual(0.0, -0.0, 0.0));
+}
+
+TEST(NumbersEqual, ToleranceIsSymmetric)
+{
+    // The defining property: which argument is "A" never matters.
+    const double pairs[][2] = {{100.0, 101.0}, {1.0, 1.1},
+                               {-5.0, 5.0},    {1e300, 1.0001e300},
+                               {0.0, 1e-7},    {3.0, kNan},
+                               {kInf, 1e308}};
+    for (double tol : {0.0, 1e-9, 1e-6, 1e-3, 0.5}) {
+        for (const auto &p : pairs) {
+            EXPECT_EQ(numbersEqual(p[0], p[1], tol),
+                      numbersEqual(p[1], p[0], tol))
+                << p[0] << " vs " << p[1] << " tol " << tol;
+        }
+    }
+}
+
+TEST(NumbersEqual, NanAndInfinitySemantics)
+{
+    // Two runs that both produced "no data" must diff clean...
+    EXPECT_TRUE(numbersEqual(kNan, kNan, 0.0));
+    EXPECT_TRUE(numbersEqual(kInf, kInf, 0.0));
+    EXPECT_TRUE(numbersEqual(-kInf, -kInf, 0.0));
+    // ...but class or sign mixtures are unequal at ANY tolerance.
+    EXPECT_FALSE(numbersEqual(kNan, 0.0, 1e9));
+    EXPECT_FALSE(numbersEqual(kNan, kInf, 1e9));
+    EXPECT_FALSE(numbersEqual(kInf, -kInf, 1e9));
+    EXPECT_FALSE(numbersEqual(kInf, 1e308, 1e9));
+}
+
+TEST(JsonParser, AcceptsNonFiniteExtensionLiterals)
+{
+    JsonValue v = parsed("{\"a\": NaN, \"b\": Infinity, "
+                         "\"c\": -Infinity, \"d\": [NaN]}");
+    ASSERT_TRUE(v.find("a") && v.find("a")->isNumber());
+    EXPECT_TRUE(std::isnan(v.find("a")->number));
+    EXPECT_EQ(v.find("b")->number, kInf);
+    EXPECT_EQ(v.find("c")->number, -kInf);
+    EXPECT_TRUE(std::isnan(v.find("d")->array[0].number));
+}
+
+TEST(JsonParser, RejectsMalformedNonFiniteLiterals)
+{
+    JsonValue v;
+    std::string err;
+    EXPECT_FALSE(parseJson("{\"a\": Nan}", v, &err));
+    EXPECT_FALSE(parseJson("{\"a\": -Inf}", v, &err));
+    EXPECT_FALSE(parseJson("{\"a\": nan}", v, &err));
+}
+
+TEST(DiffJsonValues, NonFiniteFieldsDiffCleanWhenEqual)
+{
+    const char *rec = "{\"mpki\": NaN, \"speedup\": Infinity, "
+                      "\"delta\": -Infinity}";
+    EXPECT_EQ(countDiffs(rec, rec), 0u);
+    EXPECT_EQ(countDiffs("{\"x\": NaN}", "{\"x\": 0}"), 1u);
+    EXPECT_EQ(countDiffs("{\"x\": Infinity}", "{\"x\": -Infinity}"),
+              1u);
+    // null (what our writer emits for non-finite) vs NaN is a kind
+    // mismatch, not silent equality.
+    EXPECT_EQ(countDiffs("{\"x\": null}", "{\"x\": NaN}"), 1u);
+}
+
+TEST(DiffJsonValues, RecursesAndCounts)
+{
+    EXPECT_EQ(countDiffs("{\"a\": {\"b\": [1, 2]}, \"c\": 3}",
+                         "{\"a\": {\"b\": [1, 5]}, \"c\": 4}"),
+              2u);
+    EXPECT_EQ(countDiffs("{\"a\": 1}", "{\"a\": 1, \"b\": 2}"), 1u);
+    EXPECT_EQ(countDiffs("{\"a\": 1, \"b\": 2}", "{\"a\": 1}"), 1u);
+    std::vector<std::string> paths;
+    diffJsonValues("", parsed("{\"a\": {\"b\": 1}}"),
+                   parsed("{\"a\": {\"b\": 2}}"), 0.0,
+                   [&](const std::string &p, const std::string &) {
+                       paths.push_back(p);
+                   });
+    ASSERT_EQ(paths.size(), 1u);
+    EXPECT_EQ(paths[0], ".a.b");
+}
+
+TEST(JsonlRecords, LoadKeysAndNonFiniteRoundTrip)
+{
+    TempJsonl file({
+        "{\"workload\": \"mcf\", \"design\": \"das\", "
+        "\"label\": \"fig9\", \"mpki\": NaN}",
+        "",
+        "{\"workload\": \"lbm\", \"design\": \"sas\", "
+        "\"label\": \"fig9\", \"ipc\": 1.5}",
+    });
+    JsonlRecordMap recs;
+    std::string err;
+    ASSERT_TRUE(loadJsonlRecords(file.path(), recs, &err)) << err;
+    EXPECT_EQ(recs.size(), 2u);
+    ASSERT_TRUE(recs.count("mcf | das | fig9"));
+    EXPECT_TRUE(std::isnan(
+        recs["mcf | das | fig9"].find("mpki")->number));
+
+    // A file equal to itself diffs clean even with NaN fields.
+    for (const auto &[key, v] : recs)
+        EXPECT_EQ(diffJsonValues("", v, v, 0.0, nullptr), 0u) << key;
+}
+
+TEST(JsonlRecords, LoadErrorsAreDescriptive)
+{
+    JsonlRecordMap recs;
+    std::string err;
+    EXPECT_FALSE(loadJsonlRecords("/nonexistent/x.jsonl", recs, &err));
+    EXPECT_NE(err.find("cannot open"), std::string::npos);
+
+    TempJsonl bad({"{\"workload\": }"});
+    err.clear();
+    EXPECT_FALSE(loadJsonlRecords(bad.path(), recs, &err));
+    EXPECT_NE(err.find(":1:"), std::string::npos) << err;
+
+    TempJsonl not_obj({"[1, 2]"});
+    err.clear();
+    EXPECT_FALSE(loadJsonlRecords(not_obj.path(), recs, &err));
+    EXPECT_NE(err.find("not an object"), std::string::npos);
+}
+
+TEST(JsonlRecords, MissingKeyFieldsRenderAsQuestionMarks)
+{
+    EXPECT_EQ(jsonlRecordKey(parsed("{\"workload\": \"mcf\"}")),
+              "mcf | ? | ?");
+    EXPECT_EQ(jsonlRecordKey(parsed("{\"label\": 3}")), "? | ? | ?");
+}

@@ -81,6 +81,71 @@ TEST(Layout, GlobalGroupsNeverSpanBanks)
     EXPECT_EQ(first_b1 % 32, 0u);
 }
 
+TEST(Layout, GroupBoundaryRows)
+{
+    // Off-by-one hunting at migration-group seams: the last slot of a
+    // group is slow, the first slot of the next group is fast, and the
+    // two sides of the seam index different groups.
+    DramGeometry g;
+    AsymmetricLayout l(g, {});
+    unsigned gs = l.groupSize();
+    for (std::uint64_t k : {std::uint64_t{1}, std::uint64_t{2},
+                            g.rowsPerBank / gs - 1}) {
+        std::uint64_t seam = k * gs;
+        EXPECT_EQ(l.groupOf(seam - 1), k - 1) << "seam " << seam;
+        EXPECT_EQ(l.groupOf(seam), k);
+        EXPECT_EQ(l.slotOf(seam - 1), gs - 1);
+        EXPECT_EQ(l.slotOf(seam), 0u);
+        EXPECT_FALSE(l.slotIsFast(l.slotOf(seam - 1)));
+        EXPECT_TRUE(l.slotIsFast(l.slotOf(seam)));
+        EXPECT_EQ(l.groupBaseRow(l.groupOf(seam)), seam);
+    }
+}
+
+TEST(Layout, LastGroupOfBankIsComplete)
+{
+    DramGeometry g;
+    AsymmetricLayout l(g, {});
+    unsigned gs = l.groupSize();
+    std::uint64_t last_row = g.rowsPerBank - 1;
+    EXPECT_EQ(l.groupOf(last_row), l.groupsPerBank() - 1);
+    EXPECT_EQ(l.slotOf(last_row), gs - 1);
+    // Last global row sits in the last global group.
+    GlobalRowId last = makeGlobalRowId(g, g.channels - 1,
+                                       g.ranksPerChannel - 1,
+                                       g.banksPerRank - 1, last_row);
+    EXPECT_EQ(l.globalGroupOf(last), l.totalGroups() - 1);
+    // One row past a group base belongs to the same group; the row
+    // before the base does not.
+    std::uint64_t base = l.groupBaseRow(l.groupsPerBank() - 1);
+    EXPECT_EQ(l.groupOf(base + 1), l.groupsPerBank() - 1);
+    EXPECT_EQ(l.groupOf(base - 1), l.groupsPerBank() - 2);
+}
+
+TEST(Layout, ClassifyMatchesSlotArithmeticAtEdges)
+{
+    DramGeometry g;
+    AsymmetricLayout l(g, {});
+    unsigned gs = l.groupSize();
+    unsigned fast = l.fastSlotsPerGroup();
+    const std::uint64_t rows[] = {0, fast - 1, fast, gs - 1, gs,
+                                  g.rowsPerBank - gs,
+                                  g.rowsPerBank - gs + fast - 1,
+                                  g.rowsPerBank - gs + fast,
+                                  g.rowsPerBank - 1};
+    for (unsigned ch : {0u, g.channels - 1}) {
+        for (unsigned ba : {0u, g.banksPerRank - 1}) {
+            for (std::uint64_t row : rows) {
+                RowClass expect = l.slotIsFast(l.slotOf(row))
+                                      ? RowClass::Fast
+                                      : RowClass::Slow;
+                EXPECT_EQ(l.classify(ch, 0, ba, row), expect)
+                    << "ch" << ch << " ba" << ba << " row " << row;
+            }
+        }
+    }
+}
+
 TEST(LayoutDeathTest, IndivisibleGroupFatal)
 {
     DramGeometry g;

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Property-based tests for the translation machinery. Random
+ * promote/evict/spill sequences are generated from fixed seeds and the
+ * structural invariants re-checked after every batch:
+ *
+ *  - the table stays a per-group permutation (every logical row lives
+ *    in exactly one physical slot and vice versa, never leaving its
+ *    migration group);
+ *  - isFast() agrees with the layout's notion of fast slots;
+ *  - the tag cache never caches a row the table says is slow (the
+ *    exclusive-cache invariant: cache contents ⊆ fast-level rows).
+ *
+ * Every assertion carries the seed so a failure replays deterministically.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.hh"
+#include "core/translation_cache.hh"
+#include "core/translation_table.hh"
+
+using namespace dasdram;
+
+namespace
+{
+
+DramGeometry
+smallGeom()
+{
+    DramGeometry g;
+    g.channels = 1;
+    g.ranksPerChannel = 1;
+    g.banksPerRank = 2;
+    g.rowsPerBank = 256;
+    return g;
+}
+
+/** Full structural audit of @p t; every failure names @p seed. */
+void
+checkTableInvariants(const TranslationTable &t, const AsymmetricLayout &l,
+                     const DramGeometry &g, std::uint64_t seed)
+{
+    std::vector<unsigned> occupancy(g.totalRows(), 0);
+    for (GlobalRowId logical = 0; logical < g.totalRows(); ++logical) {
+        GlobalRowId phys = t.physicalOf(logical);
+        ASSERT_LT(phys, g.totalRows()) << "seed=" << seed;
+        ++occupancy[phys];
+        // Round trip: the inverse map agrees with the forward map.
+        ASSERT_EQ(t.logicalOf(phys), logical)
+            << "seed=" << seed << " logical=" << logical;
+        // Group confinement: migration never crosses a group boundary.
+        ASSERT_EQ(l.globalGroupOf(phys), l.globalGroupOf(logical))
+            << "seed=" << seed << " logical=" << logical << " phys="
+            << phys;
+        // Fastness is a property of the physical slot the row sits in.
+        ASSERT_EQ(t.isFast(logical), l.slotIsFast(l.slotOf(phys)))
+            << "seed=" << seed << " logical=" << logical << " phys="
+            << phys;
+    }
+    // Exactly-one-slot: the map is a bijection.
+    for (GlobalRowId phys = 0; phys < g.totalRows(); ++phys) {
+        ASSERT_EQ(occupancy[phys], 1u)
+            << "seed=" << seed << " physical row " << phys
+            << " held by " << occupancy[phys] << " logical rows";
+    }
+    // logicalInFastSlot is the inverse view of the fast slots.
+    unsigned group_size = l.config().groupSize;
+    for (std::uint64_t grp = 0; grp < l.totalGroups(); ++grp) {
+        GlobalRowId base = grp * group_size;
+        for (unsigned f = 0; f < l.fastSlotsPerGroup(); ++f) {
+            GlobalRowId logical = t.logicalInFastSlot(grp, f);
+            ASSERT_EQ(t.physicalOf(logical), base + f)
+                << "seed=" << seed << " group=" << grp << " slot=" << f;
+            ASSERT_TRUE(t.isFast(logical)) << "seed=" << seed;
+        }
+    }
+}
+
+} // namespace
+
+TEST(TranslationProperty, RandomSwapsKeepPermutationInvariants)
+{
+    DramGeometry g = smallGeom();
+    AsymmetricLayout l(g, {});
+    unsigned group_size = l.config().groupSize;
+
+    for (std::uint64_t seed : {1ull, 42ull, 0xdeadbeefull}) {
+        Rng rng(seed);
+        TranslationTable t(l);
+        for (unsigned batch = 0; batch < 8; ++batch) {
+            for (unsigned i = 0; i < 200; ++i) {
+                std::uint64_t grp = rng.nextBelow(l.totalGroups());
+                GlobalRowId base = grp * group_size;
+                GlobalRowId a = base + rng.nextBelow(group_size);
+                GlobalRowId b = base + rng.nextBelow(group_size);
+                if (a == b)
+                    continue;
+                t.swap(a, b);
+            }
+            checkTableInvariants(t, l, g, seed);
+        }
+        t.reset();
+        checkTableInvariants(t, l, g, seed);
+        for (GlobalRowId r = 0; r < g.totalRows(); ++r)
+            ASSERT_EQ(t.physicalOf(r), r) << "seed=" << seed;
+    }
+}
+
+TEST(TranslationProperty, CacheNeverDisagreesWithTable)
+{
+    DramGeometry g = smallGeom();
+    AsymmetricLayout l(g, {});
+    unsigned group_size = l.config().groupSize;
+    unsigned fast_slots = l.fastSlotsPerGroup();
+
+    for (std::uint64_t seed : {7ull, 1234ull, 0xfeedfaceull}) {
+        Rng rng(seed);
+        TranslationTable t(l);
+        // Deliberately tiny cache so random traffic forces evictions
+        // and the invariant is exercised under capacity pressure.
+        TranslationCache tc(64, 4);
+
+        for (unsigned step = 0; step < 4000; ++step) {
+            std::uint64_t grp = rng.nextBelow(l.totalGroups());
+            GlobalRowId base = grp * group_size;
+            if (rng.chance(0.5)) {
+                // Promote: a random slow-resident logical row swaps
+                // with the current occupant of a random fast slot.
+                unsigned f =
+                    static_cast<unsigned>(rng.nextBelow(fast_slots));
+                GlobalRowId incumbent = t.logicalInFastSlot(grp, f);
+                GlobalRowId promoted =
+                    base + fast_slots +
+                    rng.nextBelow(group_size - fast_slots);
+                promoted = t.logicalOf(t.physicalOf(promoted));
+                if (t.isFast(promoted))
+                    continue;
+                t.swap(incumbent, promoted);
+                // Mirror what DasManager does: demoted row leaves the
+                // cache, promoted row enters it.
+                tc.invalidate(incumbent);
+                tc.insert(promoted);
+            } else if (rng.chance(0.5)) {
+                // Spill: lookups for random rows; insert only if the
+                // row is actually fast (cache admission rule).
+                GlobalRowId row = base + rng.nextBelow(group_size);
+                if (!tc.lookup(row) && t.isFast(row))
+                    tc.insert(row);
+            } else {
+                // Evict: random invalidation (e.g. refresh-time table
+                // writeback) — always legal.
+                tc.invalidate(base + rng.nextBelow(group_size));
+            }
+
+            if (step % 256 != 0)
+                continue;
+            // The exclusive invariant: anything the cache holds must
+            // be fast per the authoritative table. (The converse need
+            // not hold: the cache is smaller than the fast level.)
+            for (GlobalRowId row = 0; row < g.totalRows(); ++row) {
+                if (tc.probe(row)) {
+                    ASSERT_TRUE(t.isFast(row))
+                        << "seed=" << seed << " step=" << step
+                        << " cached slow row " << row;
+                }
+            }
+        }
+        checkTableInvariants(t, l, g, seed);
+    }
+}
+
+TEST(TranslationProperty, SwapIsItsOwnInverse)
+{
+    DramGeometry g = smallGeom();
+    AsymmetricLayout l(g, {});
+    for (std::uint64_t seed : {3ull, 99ull}) {
+        Rng rng(seed);
+        TranslationTable t(l);
+        unsigned group_size = l.config().groupSize;
+        for (unsigned i = 0; i < 100; ++i) {
+            std::uint64_t grp = rng.nextBelow(l.totalGroups());
+            GlobalRowId a = grp * group_size + rng.nextBelow(group_size);
+            GlobalRowId b = grp * group_size + rng.nextBelow(group_size);
+            GlobalRowId pa = t.physicalOf(a), pb = t.physicalOf(b);
+            t.swap(a, b);
+            t.swap(a, b);
+            ASSERT_EQ(t.physicalOf(a), pa) << "seed=" << seed;
+            ASSERT_EQ(t.physicalOf(b), pb) << "seed=" << seed;
+        }
+    }
+}

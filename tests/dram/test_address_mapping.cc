@@ -81,6 +81,93 @@ TEST(AddressMapper, RowStrideCoversAllBanksBeforeNextRow)
     EXPECT_EQ(m.decode(blocks_per_row_sweep * stride).row, 1u);
 }
 
+class MappingEdges : public ::testing::TestWithParam<MappingScheme>
+{
+};
+
+TEST_P(MappingEdges, LocRoundTripAtAddressSpaceEdges)
+{
+    // encode∘decode identity at every corner of the coordinate space:
+    // first/last channel, rank, bank, column, and rows chosen around
+    // migration-group boundaries (group size 32) where off-by-one in
+    // group indexing would surface. Catches truncated bit widths and
+    // swapped field order.
+    DramGeometry g;
+    const unsigned group = 32;
+    const std::uint64_t rows[] = {0,
+                                  group - 1,
+                                  group,
+                                  g.rowsPerBank / 2 - 1,
+                                  g.rowsPerBank - group,
+                                  g.rowsPerBank - group - 1,
+                                  g.rowsPerBank - 1};
+    AddressMapper m(g, GetParam());
+    for (unsigned ch : {0u, g.channels - 1}) {
+        for (unsigned ra : {0u, g.ranksPerChannel - 1}) {
+            for (unsigned ba : {0u, g.banksPerRank - 1}) {
+                for (std::uint64_t row : rows) {
+                    for (std::uint64_t col :
+                         {std::uint64_t{0}, g.linesPerRow() - 1}) {
+                        DramLoc loc;
+                        loc.channel = ch;
+                        loc.rank = ra;
+                        loc.bank = ba;
+                        loc.row = row;
+                        loc.column = col;
+                        Addr a = m.encode(loc);
+                        ASSERT_LT(a, g.capacityBytes());
+                        DramLoc back = m.decode(a);
+                        EXPECT_TRUE(back.sameRow(loc))
+                            << "ch" << ch << " ra" << ra << " ba" << ba
+                            << " row " << row;
+                        EXPECT_EQ(back.column, col);
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST_P(MappingEdges, LastAddressDecodesToLastCoordinates)
+{
+    DramGeometry g;
+    AddressMapper m(g, GetParam());
+    DramLoc loc = m.decode(g.capacityBytes() - g.lineBytes);
+    EXPECT_EQ(loc.row, g.rowsPerBank - 1);
+    EXPECT_EQ(loc.channel, g.channels - 1);
+    EXPECT_EQ(loc.rank, g.ranksPerChannel - 1);
+    EXPECT_EQ(loc.bank, g.banksPerRank - 1);
+    EXPECT_EQ(loc.column, g.linesPerRow() - 1);
+}
+
+TEST_P(MappingEdges, GlobalRowIdRoundTripAtEdges)
+{
+    // The mapper's DramLoc and the translation machinery's GlobalRowId
+    // must agree at the extremes — the last global row belongs to the
+    // last migration group, not one past it.
+    DramGeometry g;
+    GlobalRowId last = makeGlobalRowId(g, g.channels - 1,
+                                       g.ranksPerChannel - 1,
+                                       g.banksPerRank - 1,
+                                       g.rowsPerBank - 1);
+    EXPECT_EQ(last, g.totalRows() - 1);
+    DramLoc loc = decodeGlobalRowId(g, last);
+    EXPECT_EQ(loc.channel, g.channels - 1);
+    EXPECT_EQ(loc.rank, g.ranksPerChannel - 1);
+    EXPECT_EQ(loc.bank, g.banksPerRank - 1);
+    EXPECT_EQ(loc.row, g.rowsPerBank - 1);
+
+    AddressMapper m(g, GetParam());
+    Addr a = m.encode(loc);
+    DramLoc back = m.decode(a);
+    EXPECT_TRUE(back.sameRow(loc));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, MappingEdges,
+                         ::testing::Values(MappingScheme::RoRaBaChCo,
+                                           MappingScheme::RoBaRaChCo,
+                                           MappingScheme::ChRaBaRoCo));
+
 TEST(AddressMapper, ChannelBalanceUnderStreaming)
 {
     DramGeometry g;

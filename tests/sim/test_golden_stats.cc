@@ -57,25 +57,29 @@ TEST(GoldenStats, McfDasFixedSeed)
     cfg.design = DesignKind::Das;
     RunMetrics m = runSimulation(WorkloadSpec::single("mcf"), cfg);
 
+    // Goldens regenerated when the controller gained the migration
+    // start gate (a MIGRATE now waits out a pending tRP/tRC/tRFC
+    // window like an ACT would) — migrations land slightly later, so
+    // the mcf run completes a few hundred cycles later.
     ASSERT_EQ(m.ipc.size(), 1u);
-    expectNear(m.ipc[0], 0.9524041952880391, "ipc");
-    EXPECT_EQ(m.cpuCycles, 167998u);
+    expectNear(m.ipc[0], 0.94734598419136151, "ipc");
+    EXPECT_EQ(m.cpuCycles, 168895u);
     EXPECT_EQ(m.instructions, 160002u);
-    EXPECT_EQ(m.llcMisses, 5724u);
-    EXPECT_EQ(m.memAccesses, 5724u);
-    EXPECT_EQ(m.promotions, 2149u);
+    EXPECT_EQ(m.llcMisses, 5697u);
+    EXPECT_EQ(m.memAccesses, 5697u);
+    EXPECT_EQ(m.promotions, 2150u);
     EXPECT_EQ(m.footprintRows, 3064u);
-    EXPECT_EQ(m.locations.rowBuffer, 374u);
-    EXPECT_EQ(m.locations.fastLevel, 3194u);
-    EXPECT_EQ(m.locations.slowLevel, 2152u);
-    EXPECT_EQ(m.energy.actsSlow, 2154u);
+    EXPECT_EQ(m.locations.rowBuffer, 351u);
+    EXPECT_EQ(m.locations.fastLevel, 3189u);
+    EXPECT_EQ(m.locations.slowLevel, 2153u);
+    EXPECT_EQ(m.energy.actsSlow, 2161u);
     EXPECT_EQ(m.energy.actsFast, 3443u);
-    EXPECT_EQ(m.energy.reads, 5990u);
+    EXPECT_EQ(m.energy.reads, 5963u);
     EXPECT_EQ(m.energy.writes, 0u);
     EXPECT_EQ(m.energy.refreshes, 36u);
-    EXPECT_EQ(m.energy.swaps, 2156u);
-    expectNear(m.mpki(), 35.774552818089774, "mpki");
-    expectNear(m.ppkm(), 375.43675751222924, "ppkm");
+    EXPECT_EQ(m.energy.swaps, 2157u);
+    expectNear(m.mpki(), 35.605804927438406, "mpki");
+    expectNear(m.ppkm(), 377.39160961909778, "ppkm");
 }
 
 TEST(GoldenStats, McfStandardFixedSeed)

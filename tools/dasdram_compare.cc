@@ -15,170 +15,27 @@
  * check on the numbers — what the determinism guarantee promises for
  * the same sweep at different --jobs values. A small tolerance (e.g.
  * --tolerance 1e-6) turns it into a regression gate for intentional
- * model changes.
+ * model changes; it applies symmetrically, so swapping A and B never
+ * changes the verdict (see common/jsonl_diff.hh for the exact rule,
+ * including NaN/infinity semantics).
  */
 
-#include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
-#include <map>
 #include <string>
 #include <vector>
 
-#include "common/json.hh"
-#include "common/log.hh"
+#include "common/jsonl_diff.hh"
 
 using namespace dasdram;
-
-namespace
-{
-
-struct Options
-{
-    std::string fileA, fileB;
-    double tolerance = 0.0;
-    bool quiet = false;
-};
-
-/** (workload, design, label) → parsed record. */
-using RecordMap = std::map<std::string, JsonValue>;
-
-std::string
-recordKey(const JsonValue &v)
-{
-    auto str = [&](const char *name) {
-        const JsonValue *f = v.find(name);
-        return f && f->isString() ? f->string : std::string("?");
-    };
-    return str("workload") + " | " + str("design") + " | " +
-           str("label");
-}
-
-bool
-loadJsonl(const std::string &path, RecordMap &out)
-{
-    std::ifstream is(path);
-    if (!is) {
-        std::fprintf(stderr, "dasdram_compare: cannot open '%s'\n",
-                     path.c_str());
-        return false;
-    }
-    std::string line;
-    std::size_t lineno = 0;
-    while (std::getline(is, line)) {
-        ++lineno;
-        if (line.empty())
-            continue;
-        JsonValue v;
-        std::string err;
-        if (!parseJson(line, v, &err)) {
-            std::fprintf(stderr, "dasdram_compare: %s:%zu: %s\n",
-                         path.c_str(), lineno, err.c_str());
-            return false;
-        }
-        if (!v.isObject()) {
-            std::fprintf(stderr,
-                         "dasdram_compare: %s:%zu: not an object\n",
-                         path.c_str(), lineno);
-            return false;
-        }
-        out[recordKey(v)] = std::move(v);
-    }
-    return true;
-}
-
-bool
-numbersEqual(double a, double b, double tol)
-{
-    if (a == b)
-        return true;
-    if (tol <= 0.0)
-        return false;
-    double scale = std::max(std::fabs(a), std::fabs(b));
-    return std::fabs(a - b) <= tol * std::max(scale, 1.0);
-}
-
-/** Recursively diff @p a vs @p b; report under @p path. Returns the
- *  number of differences found. */
-std::size_t
-diffValues(const std::string &path, const JsonValue &a,
-           const JsonValue &b, const Options &opts)
-{
-    auto report = [&](const std::string &msg) {
-        if (!opts.quiet)
-            std::printf("  %-40s %s\n", path.c_str(), msg.c_str());
-    };
-
-    if (a.kind != b.kind) {
-        report("kind mismatch");
-        return 1;
-    }
-    switch (a.kind) {
-      case JsonValue::Kind::Number:
-        if (!numbersEqual(a.number, b.number, opts.tolerance)) {
-            char buf[96];
-            std::snprintf(buf, sizeof(buf), "%.17g != %.17g", a.number,
-                          b.number);
-            report(buf);
-            return 1;
-        }
-        return 0;
-      case JsonValue::Kind::String:
-        if (a.string != b.string) {
-            report("\"" + a.string + "\" != \"" + b.string + "\"");
-            return 1;
-        }
-        return 0;
-      case JsonValue::Kind::Bool:
-        if (a.boolean != b.boolean) {
-            report("bool mismatch");
-            return 1;
-        }
-        return 0;
-      case JsonValue::Kind::Null:
-        return 0;
-      case JsonValue::Kind::Array: {
-        if (a.array.size() != b.array.size()) {
-            report("array length mismatch");
-            return 1;
-        }
-        std::size_t diffs = 0;
-        for (std::size_t i = 0; i < a.array.size(); ++i)
-            diffs += diffValues(path + "[" + std::to_string(i) + "]",
-                                a.array[i], b.array[i], opts);
-        return diffs;
-      }
-      case JsonValue::Kind::Object: {
-        std::size_t diffs = 0;
-        for (const auto &[k, av] : a.object) {
-            const JsonValue *bv = b.find(k);
-            if (!bv) {
-                report("missing field '" + k + "' in B");
-                ++diffs;
-                continue;
-            }
-            diffs += diffValues(path + "." + k, av, *bv, opts);
-        }
-        for (const auto &[k, bv] : b.object) {
-            (void)bv;
-            if (!a.find(k)) {
-                report("extra field '" + k + "' in B");
-                ++diffs;
-            }
-        }
-        return diffs;
-      }
-    }
-    return 0;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    Options opts;
+    std::string file_a, file_b;
+    double tolerance = 0.0;
+    bool quiet = false;
+
     std::vector<std::string> positional;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -187,9 +44,9 @@ main(int argc, char **argv)
                 std::fprintf(stderr, "missing value for --tolerance\n");
                 return 2;
             }
-            opts.tolerance = std::strtod(argv[++i], nullptr);
+            tolerance = std::strtod(argv[++i], nullptr);
         } else if (arg == "--quiet") {
-            opts.quiet = true;
+            quiet = true;
         } else if (arg == "--help" || arg == "-h") {
             std::printf("usage: dasdram_compare A.jsonl B.jsonl "
                         "[--tolerance REL] [--quiet]\n");
@@ -206,27 +63,37 @@ main(int argc, char **argv)
                              "[--tolerance REL] [--quiet]\n");
         return 2;
     }
-    opts.fileA = positional[0];
-    opts.fileB = positional[1];
+    file_a = positional[0];
+    file_b = positional[1];
 
-    RecordMap a, b;
-    if (!loadJsonl(opts.fileA, a) || !loadJsonl(opts.fileB, b))
+    JsonlRecordMap a, b;
+    std::string err;
+    if (!loadJsonlRecords(file_a, a, &err) ||
+        !loadJsonlRecords(file_b, b, &err)) {
+        std::fprintf(stderr, "dasdram_compare: %s\n", err.c_str());
         return 2;
+    }
+
+    auto report = [&](const std::string &path, const std::string &msg) {
+        if (!quiet)
+            std::printf("  %-40s %s\n", path.c_str(), msg.c_str());
+    };
 
     std::size_t diffs = 0;
     std::size_t compared = 0;
     for (const auto &[key, av] : a) {
         auto it = b.find(key);
         if (it == b.end()) {
-            if (!opts.quiet)
-                std::printf("only in %s: %s\n", opts.fileA.c_str(),
+            if (!quiet)
+                std::printf("only in %s: %s\n", file_a.c_str(),
                             key.c_str());
             ++diffs;
             continue;
         }
         ++compared;
-        std::size_t d = diffValues("", av, it->second, opts);
-        if (d && !opts.quiet)
+        std::size_t d =
+            diffJsonValues("", av, it->second, tolerance, report);
+        if (d && !quiet)
             std::printf("^ point: %s (%zu field diffs)\n", key.c_str(),
                         d);
         diffs += d;
@@ -234,17 +101,17 @@ main(int argc, char **argv)
     for (const auto &[key, bv] : b) {
         (void)bv;
         if (!a.count(key)) {
-            if (!opts.quiet)
-                std::printf("only in %s: %s\n", opts.fileB.c_str(),
+            if (!quiet)
+                std::printf("only in %s: %s\n", file_b.c_str(),
                             key.c_str());
             ++diffs;
         }
     }
 
-    if (!opts.quiet) {
+    if (!quiet) {
         std::printf("%zu point(s) compared, %zu difference(s)%s\n",
                     compared, diffs,
-                    opts.tolerance > 0.0 ? " (with tolerance)" : "");
+                    tolerance > 0.0 ? " (with tolerance)" : "");
     }
     return diffs == 0 ? 0 : 1;
 }

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Deterministic DRAM protocol fuzzer. Drives the standard fuzz grid
+ * (designs × controller corners) of randomized synthetic traffic
+ * through the controller with the online ProtocolChecker attached.
+ *
+ * Every case's RNG stream derives from (--seed, case name, design);
+ * a failing case replays from the one-line command printed with it.
+ *
+ *   dasdram_fuzz                       # whole grid, base seed 42
+ *   dasdram_fuzz --seed 7 --requests 5000
+ *   dasdram_fuzz --filter das/tiny-queues
+ *   dasdram_fuzz --trace-cmds cmds.txt --filter das/base
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "common/log.hh"
+#include "sim/fuzz.hh"
+
+using namespace dasdram;
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --seed N          base seed the per-case seeds derive from "
+        "(default 42)\n"
+        "  --requests N      demand requests per case (default 2000)\n"
+        "  --filter STR      only run cases whose name contains STR\n"
+        "  --trace-cmds FILE also write every issued command to FILE\n"
+        "  --list            print case names and per-case seeds, then "
+        "exit\n"
+        "  --quiet           only report failures and the final "
+        "summary\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t base_seed = 42;
+    unsigned requests = 2000;
+    std::string filter;
+    std::string trace_path;
+    bool list_only = false;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto need_value = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for {}", flag);
+            return argv[++i];
+        };
+        if (arg == "--seed") {
+            base_seed = std::strtoull(need_value("--seed").c_str(),
+                                      nullptr, 10);
+        } else if (arg == "--requests") {
+            requests = static_cast<unsigned>(std::strtoul(
+                need_value("--requests").c_str(), nullptr, 10));
+            if (requests == 0)
+                fatal("--requests needs a positive integer");
+        } else if (arg == "--filter") {
+            filter = need_value("--filter");
+        } else if (arg == "--trace-cmds") {
+            trace_path = need_value("--trace-cmds");
+        } else if (arg == "--list") {
+            list_only = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            fatal("unknown argument '{}' (try --help)", arg);
+        }
+    }
+
+    std::ofstream trace_os;
+    std::unique_ptr<CommandTrace> trace;
+    if (!trace_path.empty()) {
+        trace_os.open(trace_path);
+        if (!trace_os)
+            fatal("cannot open '{}' for writing", trace_path);
+        trace = std::make_unique<CommandTrace>(trace_os);
+    }
+
+    unsigned ran = 0, failed = 0;
+    for (const FuzzCase &c : defaultFuzzCases(base_seed, requests)) {
+        if (!filter.empty() && c.name.find(filter) == std::string::npos)
+            continue;
+        if (list_only) {
+            std::printf("%-24s seed=%llu\n", c.name.c_str(),
+                        static_cast<unsigned long long>(c.seed));
+            continue;
+        }
+        if (trace)
+            trace_os << "# case " << c.name << " seed=" << c.seed
+                     << '\n';
+        const DesignSpec &spec = designSpec(c.design);
+        DramTiming t = ddr3_1600Timing(spec.charmColumnOpt);
+        FuzzReport rep = runProtocolFuzz(c, t, t, trace.get());
+        ++ran;
+        if (rep.ok()) {
+            if (!quiet) {
+                std::printf("ok   %-24s seed=%llu commands=%llu "
+                            "migrations=%llu\n",
+                            rep.name.c_str(),
+                            static_cast<unsigned long long>(rep.seed),
+                            static_cast<unsigned long long>(
+                                rep.commands),
+                            static_cast<unsigned long long>(
+                                rep.migrationsDone));
+            }
+            continue;
+        }
+        ++failed;
+        std::printf("FAIL %-24s seed=%llu commands=%llu "
+                    "violations=%llu drained=%d\n",
+                    rep.name.c_str(),
+                    static_cast<unsigned long long>(rep.seed),
+                    static_cast<unsigned long long>(rep.commands),
+                    static_cast<unsigned long long>(rep.violations),
+                    rep.drained ? 1 : 0);
+        if (!rep.firstViolation.empty())
+            std::printf("     first: %s\n", rep.firstViolation.c_str());
+        std::printf("     replay: %s --seed %llu --requests %u "
+                    "--filter '%s'\n",
+                    argv[0],
+                    static_cast<unsigned long long>(base_seed),
+                    requests, rep.name.c_str());
+    }
+
+    if (list_only)
+        return 0;
+    if (ran == 0)
+        fatal("no fuzz case matches filter '{}'", filter);
+    std::printf("%u case(s), %u failure(s)\n", ran, failed);
+    return failed == 0 ? 0 : 1;
+}

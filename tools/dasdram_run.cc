@@ -25,6 +25,14 @@
  *                                          --baseline the baseline and
  *                                          the design run in parallel
  *     --seed <N>                           workload seed
+ *     --check / --no-check                 enable/disable the online
+ *                                          DRAM protocol checker
+ *                                          (default: enabled; a
+ *                                          violation aborts the run)
+ *     --trace-cmds <file>                  write every DRAM command the
+ *                                          controller issues to <file>
+ *                                          (runs the point directly,
+ *                                          like --stats)
  *     --set key=value                      config override, repeatable:
  *         das.threshold, das.tcBytes, das.replacement, das.exclusive,
  *         layout.groupSize, layout.fastRatioDenom, sim.warmup
@@ -166,6 +174,8 @@ main(int argc, char **argv)
     std::uint64_t seed = 42;
     unsigned jobs = 0;
     std::string json_path;
+    std::string trace_path;
+    bool protocol_check = true;
     Config overrides;
 
     for (int i = 1; i < argc; ++i) {
@@ -192,6 +202,12 @@ main(int argc, char **argv)
                 fatal("--jobs needs a positive integer");
         } else if (arg == "--json") {
             json_path = need_value("--json");
+        } else if (arg == "--check") {
+            protocol_check = true;
+        } else if (arg == "--no-check") {
+            protocol_check = false;
+        } else if (arg == "--trace-cmds") {
+            trace_path = need_value("--trace-cmds");
         } else if (arg == "--baseline") {
             with_baseline = true;
         } else if (arg == "--stats") {
@@ -212,6 +228,7 @@ main(int argc, char **argv)
     SimConfig cfg;
     cfg.instructionsPerCore = instructions;
     cfg.seed = seed;
+    cfg.protocolCheck = protocol_check;
     applySimScale(cfg);
     applyOverrides(cfg, overrides);
 
@@ -247,10 +264,10 @@ main(int argc, char **argv)
         printSummary(w, r, with_baseline || csv, cfg.geom);
     }
 
-    if (dump_stats) {
-        // Re-run with direct System access for the stats tree, using
-        // the same effective seed as the sweep point above so the
-        // dump matches the summary.
+    if (dump_stats || !trace_path.empty()) {
+        // Re-run with direct System access for the stats tree and/or
+        // the command trace, using the same effective seed as the
+        // sweep point above so the dump matches the summary.
         SimConfig scfg = cfg;
         scfg.design = kind;
         scfg.seed = SweepRunner::pointSeed(cfg.seed, w.name, kind);
@@ -265,8 +282,16 @@ main(int argc, char **argv)
             ptrs.push_back(traces.back().get());
         }
         System sys(scfg, ptrs);
+        std::ofstream trace_os;
+        if (!trace_path.empty()) {
+            trace_os.open(trace_path);
+            if (!trace_os)
+                fatal("cannot open '{}' for writing", trace_path);
+            sys.attachCommandTrace(trace_os);
+        }
         sys.run();
-        sys.dumpStats(std::cout);
+        if (dump_stats)
+            sys.dumpStats(std::cout);
     }
     return 0;
 }
