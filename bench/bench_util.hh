@@ -48,10 +48,22 @@ struct BenchOptions
      *  On by default so every figure run doubles as a protocol test;
      *  --no-check turns it off to shave a few percent of runtime. */
     bool protocolCheck = true;
+    /** When non-empty, every sweep point writes its stats-JSONL dump
+     *  (histograms, percentiles, epoch series) into this existing
+     *  directory — one point<idx>_... file per point; compare them
+     *  with dasdram_report. */
+    std::string statsDir;
+    /** Epoch length of the stats time-series in memory cycles
+     *  (0 = no series); only meaningful with --stats-dir. */
+    Cycle epochMemCycles = 0;
+    /** Sample latency/occupancy histograms (--no-histograms turns the
+     *  sample path off, e.g. for overhead measurements). */
+    bool histograms = true;
 };
 
-/** Parse --jobs N, --json FILE and --check/--no-check; fatal on
- *  unknown arguments. */
+/** Parse --jobs N, --json FILE, --check/--no-check, --stats-dir DIR,
+ *  --epoch N and --histograms/--no-histograms; fatal on unknown
+ *  arguments. */
 inline BenchOptions
 parseBenchArgs(int argc, char **argv)
 {
@@ -79,15 +91,33 @@ parseBenchArgs(int argc, char **argv)
             opts.protocolCheck = true;
         } else if (arg == "--no-check") {
             opts.protocolCheck = false;
+        } else if (arg == "--stats-dir") {
+            opts.statsDir = need_value("--stats-dir");
+        } else if (arg == "--epoch") {
+            opts.epochMemCycles = std::strtoull(
+                need_value("--epoch").c_str(), nullptr, 10);
+        } else if (arg == "--histograms") {
+            opts.histograms = true;
+        } else if (arg == "--no-histograms") {
+            opts.histograms = false;
         } else if (arg == "--help" || arg == "-h") {
             std::printf("usage: %s [--jobs N] [--json FILE] "
-                        "[--check|--no-check]\n"
-                        "  --jobs N    worker threads (default: DAS_JOBS "
-                        "env, else hardware)\n"
-                        "  --json FILE export all sweep points as JSON "
-                        "lines\n"
-                        "  --check     online DRAM protocol checker "
-                        "(default on; --no-check disables)\n",
+                        "[--check|--no-check] [--stats-dir DIR] "
+                        "[--epoch N]\n"
+                        "  --jobs N       worker threads (default: "
+                        "DAS_JOBS env, else hardware)\n"
+                        "  --json FILE    export all sweep points as "
+                        "JSON lines\n"
+                        "  --check        online DRAM protocol checker "
+                        "(default on; --no-check disables)\n"
+                        "  --stats-dir D  per-point stats-JSONL dumps "
+                        "(histograms, percentiles) into D\n"
+                        "  --epoch N      stats time-series epoch in "
+                        "memory cycles (0 = off)\n"
+                        "  --histograms   latency/occupancy histogram "
+                        "sampling (default on;\n"
+                        "                 --no-histograms disables the "
+                        "sample path)\n",
                         argv[0]);
             std::exit(0);
         } else {
@@ -102,6 +132,9 @@ defaultConfig(const BenchOptions &opts)
 {
     SimConfig cfg = defaultConfig();
     cfg.protocolCheck = opts.protocolCheck;
+    cfg.obs.statsDir = opts.statsDir;
+    cfg.obs.epochMemCycles = opts.epochMemCycles;
+    cfg.obs.histograms = opts.histograms;
     return cfg;
 }
 

@@ -11,6 +11,8 @@ MshrFile::MshrFile(unsigned capacity, std::string name)
     statGroup_.addCounter("allocations", &allocations_);
     statGroup_.addCounter("coalesced", &coalesced_,
                           "misses merged into an outstanding fill");
+    statGroup_.addHistogram("occupancy", &occupancy_,
+                            "entries in use after each allocation");
 }
 
 void
@@ -22,6 +24,7 @@ MshrFile::allocate(Addr line)
     if (!inserted)
         panic("MSHR allocate for already outstanding line {:x}", line);
     allocations_.inc();
+    occupancy_.sample(entries_.size());
 }
 
 void

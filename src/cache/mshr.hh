@@ -66,6 +66,7 @@ class MshrFile
 
     StatGroup statGroup_;
     Counter allocations_, coalesced_;
+    Histogram occupancy_; ///< sampled after each allocation
 };
 
 } // namespace dasdram

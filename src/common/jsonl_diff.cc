@@ -15,6 +15,22 @@ jsonlRecordKey(const JsonValue &v)
         const JsonValue *f = v.find(name);
         return f && f->isString() ? f->string : std::string("?");
     };
+    // Stats-JSONL records (src/common/stats_jsonl.hh) carry a "type"
+    // discriminator and are keyed by type + name (or epoch index);
+    // sweep-result records fall through to workload/design/label.
+    if (const JsonValue *type = v.find("type"); type && type->isString()) {
+        if (const JsonValue *name = v.find("name");
+            name && name->isString()) {
+            return type->string + " | " + name->string;
+        }
+        if (const JsonValue *idx = v.find("index");
+            idx && idx->isNumber()) {
+            return type->string + " | " +
+                   std::to_string(
+                       static_cast<std::uint64_t>(idx->number));
+        }
+        return type->string;
+    }
     return str("workload") + " | " + str("design") + " | " +
            str("label");
 }

@@ -1,5 +1,10 @@
 #include "stats.hh"
 
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "common/log.hh"
 #include "common/strfmt.hh"
 
 namespace dasdram
@@ -31,9 +36,139 @@ Distribution::reset()
 }
 
 void
+Distribution::merge(const Distribution &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+std::size_t
+Histogram::bucketIndex(std::uint64_t v)
+{
+    if (v < kSubBuckets)
+        return static_cast<std::size_t>(v);
+    const unsigned msb = std::bit_width(v) - 1;
+    const unsigned shift = msb - kSubBucketBits;
+    const std::size_t octave = msb - kSubBucketBits + 1;
+    return (octave << kSubBucketBits) +
+           static_cast<std::size_t>((v >> shift) - kSubBuckets);
+}
+
+std::uint64_t
+Histogram::bucketLo(std::size_t i)
+{
+    const std::size_t octave = i >> kSubBucketBits;
+    const std::uint64_t sub = i & (kSubBuckets - 1);
+    if (octave == 0)
+        return sub;
+    return (kSubBuckets + sub) << (octave - 1);
+}
+
+std::uint64_t
+Histogram::bucketHi(std::size_t i)
+{
+    const std::size_t octave = i >> kSubBucketBits;
+    if (octave == 0)
+        return bucketLo(i) + 1;
+    // Width of one sub-bucket in this octave; the very last octave's
+    // top sub-bucket would overflow, so saturate to 2^64-1.
+    const std::uint64_t lo = bucketLo(i);
+    const std::uint64_t width = std::uint64_t{1} << (octave - 1);
+    if (lo > std::numeric_limits<std::uint64_t>::max() - width)
+        return std::numeric_limits<std::uint64_t>::max();
+    return lo + width;
+}
+
+void
+Histogram::reset()
+{
+    buckets_.fill(0);
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = 0;
+    max_ = 0;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.count_ == 0)
+        return;
+    for (std::size_t i = 0; i < kNumBuckets; ++i)
+        buckets_[i] += other.buckets_[i];
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+std::uint64_t
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0;
+    if (p < 0.0)
+        p = 0.0;
+    if (p > 100.0)
+        p = 100.0;
+    // Rank of the target sample, 1-based: the smallest k such that at
+    // least p% of samples are <= the k-th smallest one.
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(count_)));
+    if (rank < 1)
+        rank = 1;
+    if (rank > count_)
+        rank = count_;
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+        cum += buckets_[i];
+        if (cum >= rank) {
+            std::uint64_t v = bucketHi(i) - 1;
+            if (v > max_)
+                v = max_;
+            if (v < min_)
+                v = min_;
+            return v;
+        }
+    }
+    return max_;
+}
+
+void
+StatGroup::checkNewName(const std::string &name) const
+{
+    for (const auto &e : counters_)
+        if (e.name == name)
+            panic("StatGroup '{}': duplicate stat name '{}'", name_, name);
+    for (const auto &e : dists_)
+        if (e.name == name)
+            panic("StatGroup '{}': duplicate stat name '{}'", name_, name);
+    for (const auto &e : hists_)
+        if (e.name == name)
+            panic("StatGroup '{}': duplicate stat name '{}'", name_, name);
+    for (const auto &e : formulas_)
+        if (e.name == name)
+            panic("StatGroup '{}': duplicate stat name '{}'", name_, name);
+}
+
+void
 StatGroup::addCounter(const std::string &name, Counter *c,
                       const std::string &desc)
 {
+    checkNewName(name);
     counters_.push_back({name, c, desc});
 }
 
@@ -41,19 +176,37 @@ void
 StatGroup::addDistribution(const std::string &name, Distribution *d,
                            const std::string &desc)
 {
+    checkNewName(name);
     dists_.push_back({name, d, desc});
+}
+
+void
+StatGroup::addHistogram(const std::string &name, Histogram *h,
+                        const std::string &desc)
+{
+    checkNewName(name);
+    hists_.push_back({name, h, desc});
 }
 
 void
 StatGroup::addFormula(const std::string &name, std::function<double()> fn,
                       const std::string &desc)
 {
+    checkNewName(name);
     formulas_.push_back({name, std::move(fn), desc});
 }
 
 void
 StatGroup::addChild(StatGroup *child)
 {
+    for (const StatGroup *c : children_) {
+        if (c == child)
+            panic("StatGroup '{}': child '{}' registered twice", name_,
+                  child->name());
+        if (c->name() == child->name())
+            panic("StatGroup '{}': duplicate child name '{}'", name_,
+                  child->name());
+    }
     children_.push_back(child);
 }
 
@@ -76,6 +229,16 @@ StatGroup::dump(std::ostream &os, const std::string &prefix) const
             os << "  # " << e.desc;
         os << '\n';
     }
+    for (const auto &e : hists_) {
+        os << formatStr("{}.{} count={} mean={:.4f} min={} max={} "
+                        "p50={} p90={} p99={} p999={}",
+                        full, e.name, e.hist->count(), e.hist->mean(),
+                        e.hist->min(), e.hist->max(), e.hist->p50(),
+                        e.hist->p90(), e.hist->p99(), e.hist->p999());
+        if (!e.desc.empty())
+            os << "  # " << e.desc;
+        os << '\n';
+    }
     for (const auto &e : formulas_) {
         os << formatStr("{}.{} {:.6f}", full, e.name, e.fn());
         if (!e.desc.empty())
@@ -87,12 +250,31 @@ StatGroup::dump(std::ostream &os, const std::string &prefix) const
 }
 
 void
+StatGroup::visit(StatVisitor &v, const std::string &prefix) const
+{
+    const std::string full =
+        prefix.empty() ? name_ : prefix + "." + name_;
+    for (const auto &e : counters_)
+        v.onCounter(full + "." + e.name, *e.counter, e.desc);
+    for (const auto &e : dists_)
+        v.onDistribution(full + "." + e.name, *e.dist, e.desc);
+    for (const auto &e : hists_)
+        v.onHistogram(full + "." + e.name, *e.hist, e.desc);
+    for (const auto &e : formulas_)
+        v.onFormula(full + "." + e.name, e.fn(), e.desc);
+    for (const StatGroup *child : children_)
+        child->visit(v, full);
+}
+
+void
 StatGroup::resetAll()
 {
     for (const auto &e : counters_)
         e.counter->reset();
     for (const auto &e : dists_)
         e.dist->reset();
+    for (const auto &e : hists_)
+        e.hist->reset();
     for (StatGroup *child : children_)
         child->resetAll();
 }

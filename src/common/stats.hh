@@ -1,7 +1,9 @@
 /**
  * @file
- * A lightweight statistics package: named scalar counters, distributions
- * and derived formulas grouped per component, dumpable as text.
+ * A lightweight statistics package: named scalar counters, distributions,
+ * log2-bucketed histograms and derived formulas grouped per component,
+ * dumpable as text and walkable through a visitor (for JSONL export and
+ * epoch time-series sampling).
  *
  * Unlike gem5's global registry, stats here are owned by a StatGroup that
  * each component embeds, so independent simulations in one process (e.g.
@@ -11,6 +13,7 @@
 #ifndef DASDRAM_COMMON_STATS_HH
 #define DASDRAM_COMMON_STATS_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <ostream>
@@ -40,7 +43,21 @@ class Distribution
 {
   public:
     void sample(double v);
+
+    /**
+     * Forget all samples. min()/max() return 0 again until the next
+     * sample arrives; the first post-reset sample re-seeds them (the
+     * pre-reset extrema never leak into the new window — guarded by
+     * tests/common/test_stats.cc).
+     */
     void reset();
+
+    /**
+     * Fold @p other into this distribution, as if every sample of
+     * @p other had been sampled here too. Merging an empty side is the
+     * identity; used for per-bank → per-channel rollups.
+     */
+    void merge(const Distribution &other);
 
     std::uint64_t count() const { return count_; }
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
@@ -56,9 +73,126 @@ class Distribution
 };
 
 /**
+ * Log2-bucketed histogram over unsigned integer samples (latencies and
+ * occupancies in cycles/entries).
+ *
+ * Each power-of-two octave is split into 2^kSubBucketBits linear
+ * sub-buckets, so values below 2^kSubBucketBits are recorded exactly
+ * and larger values with a relative resolution of 2^-kSubBucketBits
+ * (12.5%). The sample path is allocation-free (a fixed bucket array
+ * plus scalar min/max/sum), histograms merge bucket-wise, and
+ * percentile queries are exact with respect to the recorded buckets:
+ * percentile(p) returns the largest value the bucket holding the p-th
+ * sample can contain (clamped to the observed min/max), so for
+ * sub-2^kSubBucketBits data the answer is exact.
+ */
+class Histogram
+{
+  public:
+    /** Linear sub-buckets per octave = 2^kSubBucketBits. */
+    static constexpr unsigned kSubBucketBits = 3;
+    static constexpr unsigned kSubBuckets = 1u << kSubBucketBits;
+    /** Octaves above the linear range (64-bit values) + linear range. */
+    static constexpr std::size_t kNumBuckets =
+        static_cast<std::size_t>(64 - kSubBucketBits + 1) * kSubBuckets;
+
+    /** Record one sample. Allocation-free. */
+    void
+    sample(std::uint64_t v)
+    {
+        ++buckets_[bucketIndex(v)];
+        ++count_;
+        sum_ += v;
+        if (count_ == 1) {
+            min_ = v;
+            max_ = v;
+        } else {
+            if (v < min_)
+                min_ = v;
+            if (v > max_)
+                max_ = v;
+        }
+    }
+
+    void reset();
+
+    /** Fold @p other in bucket-wise (per-bank → per-channel rollups). */
+    void merge(const Histogram &other);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return count_ ? max_ : 0; }
+
+    /**
+     * Value at percentile @p p in [0, 100]: the upper bound of the
+     * bucket containing the ceil(p/100 * count)-th smallest sample,
+     * clamped to [min(), max()]. 0 when empty.
+     */
+    std::uint64_t percentile(double p) const;
+
+    std::uint64_t p50() const { return percentile(50.0); }
+    std::uint64_t p90() const { return percentile(90.0); }
+    std::uint64_t p99() const { return percentile(99.0); }
+    std::uint64_t p999() const { return percentile(99.9); }
+
+    /// @name Bucket geometry (exposed for tests and exporters)
+    /// @{
+    static std::size_t bucketIndex(std::uint64_t v);
+    /** Smallest value mapping to bucket @p i. */
+    static std::uint64_t bucketLo(std::size_t i);
+    /** One past the largest value mapping to bucket @p i (saturating). */
+    static std::uint64_t bucketHi(std::size_t i);
+
+    std::size_t numBuckets() const { return kNumBuckets; }
+    std::uint64_t bucketCount(std::size_t i) const { return buckets_[i]; }
+    /// @}
+
+  private:
+    std::array<std::uint64_t, kNumBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+/**
+ * Read-only walk over a StatGroup tree. Names are fully qualified
+ * ("system.dram.channel0.reads"). Default implementations ignore the
+ * entry, so visitors override only what they consume.
+ */
+class StatVisitor
+{
+  public:
+    virtual ~StatVisitor() = default;
+
+    virtual void
+    onCounter(const std::string &, const Counter &, const std::string &)
+    {}
+    virtual void
+    onDistribution(const std::string &, const Distribution &,
+                   const std::string &)
+    {}
+    virtual void
+    onHistogram(const std::string &, const Histogram &,
+                const std::string &)
+    {}
+    /** @p value is the formula evaluated at visit time. */
+    virtual void
+    onFormula(const std::string &, double, const std::string &)
+    {}
+};
+
+/**
  * A group of named statistics belonging to one component. Components
  * register their counters once at construction; dump() walks the group
  * tree for reporting.
+ *
+ * Registration panics on a duplicate stat name (across counters,
+ * distributions, histograms and formulas — they share one namespace in
+ * dumps) and on duplicate child registration, which would silently
+ * shadow values in dumps and exports.
  */
 class StatGroup
 {
@@ -73,6 +207,8 @@ class StatGroup
                     const std::string &desc = "");
     void addDistribution(const std::string &name, Distribution *d,
                          const std::string &desc = "");
+    void addHistogram(const std::string &name, Histogram *h,
+                      const std::string &desc = "");
     /** Register a derived value computed at dump time. */
     void addFormula(const std::string &name, std::function<double()> fn,
                     const std::string &desc = "");
@@ -84,7 +220,14 @@ class StatGroup
     /** Write "group.stat value # desc" lines to @p os, recursively. */
     void dump(std::ostream &os, const std::string &prefix = "") const;
 
-    /** Reset all counters/distributions, recursively (after warm-up). */
+    /**
+     * Walk every stat in the tree in registration order (counters,
+     * then distributions, histograms, formulas, then children).
+     * @p prefix is prepended to this group's name.
+     */
+    void visit(StatVisitor &v, const std::string &prefix = "") const;
+
+    /** Reset all counters/distributions/histograms, recursively. */
     void resetAll();
 
   private:
@@ -100,6 +243,12 @@ class StatGroup
         Distribution *dist;
         std::string desc;
     };
+    struct HistEntry
+    {
+        std::string name;
+        Histogram *hist;
+        std::string desc;
+    };
     struct FormulaEntry
     {
         std::string name;
@@ -107,9 +256,13 @@ class StatGroup
         std::string desc;
     };
 
+    /** Panic if @p name is already registered in this group. */
+    void checkNewName(const std::string &name) const;
+
     std::string name_;
     std::vector<CounterEntry> counters_;
     std::vector<DistEntry> dists_;
+    std::vector<HistEntry> hists_;
     std::vector<FormulaEntry> formulas_;
     std::vector<StatGroup *> children_;
 };

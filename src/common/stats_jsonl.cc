@@ -1,0 +1,146 @@
+#include "stats_jsonl.hh"
+
+#include "common/json.hh"
+
+namespace dasdram
+{
+
+namespace
+{
+
+/** Emits one JSONL record per stat. */
+class JsonlVisitor : public StatVisitor
+{
+  public:
+    explicit JsonlVisitor(std::ostream &os) : os_(os) {}
+
+    void
+    onCounter(const std::string &name, const Counter &c,
+              const std::string &) override
+    {
+        JsonWriter w;
+        w.beginObject()
+            .field("type", "counter")
+            .field("name", name)
+            .field("value", c.value())
+            .endObject();
+        os_ << w.str() << '\n';
+    }
+
+    void
+    onDistribution(const std::string &name, const Distribution &d,
+                   const std::string &) override
+    {
+        JsonWriter w;
+        w.beginObject()
+            .field("type", "dist")
+            .field("name", name)
+            .field("count", d.count())
+            .field("mean", d.mean())
+            .field("min", d.min())
+            .field("max", d.max())
+            .field("sum", d.sum())
+            .endObject();
+        os_ << w.str() << '\n';
+    }
+
+    void
+    onHistogram(const std::string &name, const Histogram &h,
+                const std::string &) override
+    {
+        JsonWriter w;
+        w.beginObject()
+            .field("type", "hist")
+            .field("name", name)
+            .field("count", h.count())
+            .field("mean", h.mean())
+            .field("min", h.min())
+            .field("max", h.max())
+            .field("p50", h.p50())
+            .field("p90", h.p90())
+            .field("p99", h.p99())
+            .field("p999", h.p999());
+        w.key("buckets").beginArray();
+        for (std::size_t i = 0; i < h.numBuckets(); ++i) {
+            if (h.bucketCount(i) == 0)
+                continue;
+            w.beginArray()
+                .value(Histogram::bucketLo(i))
+                .value(Histogram::bucketHi(i))
+                .value(h.bucketCount(i))
+                .endArray();
+        }
+        w.endArray().endObject();
+        os_ << w.str() << '\n';
+    }
+
+    void
+    onFormula(const std::string &name, double value,
+              const std::string &) override
+    {
+        JsonWriter w;
+        w.beginObject()
+            .field("type", "formula")
+            .field("name", name)
+            .field("value", value)
+            .endObject();
+        os_ << w.str() << '\n';
+    }
+
+  private:
+    std::ostream &os_;
+};
+
+} // namespace
+
+void
+writeStatsJsonlGroup(std::ostream &os, const StatGroup &group)
+{
+    JsonlVisitor v(os);
+    group.visit(v);
+}
+
+void
+writeStatsJsonl(std::ostream &os, const StatGroup &root,
+                const EpochSeries *epochs, const StatsJsonlMeta &meta)
+{
+    {
+        JsonWriter w;
+        w.beginObject()
+            .field("type", "meta")
+            .field("schema", kStatsJsonlSchema)
+            .field("version", std::int64_t{kStatsJsonlVersion})
+            .field("workload", meta.workload)
+            .field("design", meta.design)
+            .field("label", meta.label)
+            .field("seed", meta.seed)
+            .field("instructions", meta.instructions)
+            .field("epoch_cycles", meta.epochCycles)
+            .endObject();
+        os << w.str() << '\n';
+    }
+
+    JsonlVisitor v(os);
+    root.visit(v);
+
+    if (!epochs)
+        return;
+    const auto &names = epochs->names();
+    for (const auto &e : epochs->epochs()) {
+        JsonWriter w;
+        w.beginObject()
+            .field("type", "epoch")
+            .field("index", e.index)
+            .field("start", e.start)
+            .field("end", e.end);
+        w.key("values").beginObject();
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            if (e.deltas[i] != 0.0)
+                w.field(names[i], e.deltas[i]);
+        }
+        w.endObject().endObject();
+        os << w.str() << '\n';
+    }
+}
+
+} // namespace dasdram

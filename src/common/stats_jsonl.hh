@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Schema-versioned machine-readable stats export: one JSON object per
+ * line (JSONL), consumable by jsonl_diff / dasdram_compare and by
+ * tools/dasdram_report.
+ *
+ * Record types (field "type"):
+ *   meta    — first line; schema name/version plus run identity
+ *             (workload, design, label, seed, instructions,
+ *             epoch_cycles).
+ *   counter — {"type":"counter","name":N,"value":V}
+ *   dist    — {"type":"dist","name":N,"count","mean","min","max","sum"}
+ *   hist    — {"type":"hist","name":N,"count","mean","min","max",
+ *              "p50","p90","p99","p999","buckets":[[lo,hi,count],...]}
+ *             (non-empty buckets only; lo inclusive, hi exclusive)
+ *   formula — {"type":"formula","name":N,"value":V}
+ *   epoch   — {"type":"epoch","index":I,"start":C,"end":C,
+ *              "values":{name:delta,...}} (non-zero deltas only)
+ *
+ * Bump kStatsJsonlVersion whenever a record shape changes
+ * incompatibly; readers should check meta.version.
+ */
+
+#ifndef DASDRAM_COMMON_STATS_JSONL_HH
+#define DASDRAM_COMMON_STATS_JSONL_HH
+
+#include <ostream>
+#include <string>
+
+#include "common/epoch_series.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace dasdram
+{
+
+constexpr int kStatsJsonlVersion = 1;
+constexpr const char *kStatsJsonlSchema = "dasdram-stats";
+
+/** Run identity written into the leading meta record. */
+struct StatsJsonlMeta
+{
+    std::string workload;
+    std::string design;
+    std::string label;
+    std::uint64_t seed = 0;
+    std::uint64_t instructions = 0;
+    /** Epoch length in memory-controller cycles; 0 = epochs disabled. */
+    Cycle epochCycles = 0;
+};
+
+/**
+ * Write the whole stat tree under @p root (and the epoch series, when
+ * non-null) to @p os as JSONL. Deterministic: same stats in, same
+ * bytes out.
+ */
+void writeStatsJsonl(std::ostream &os, const StatGroup &root,
+                     const EpochSeries *epochs,
+                     const StatsJsonlMeta &meta);
+
+/**
+ * Append just the stat records of @p group (no meta line, no epochs);
+ * for writers that add derived groups — e.g. cross-channel rollups —
+ * to a dump started with writeStatsJsonl().
+ */
+void writeStatsJsonlGroup(std::ostream &os, const StatGroup &group);
+
+} // namespace dasdram
+
+#endif // DASDRAM_COMMON_STATS_JSONL_HH

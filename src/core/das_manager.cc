@@ -259,7 +259,7 @@ DasManager::onDataComplete(MemRequest &req, Cycle at, const DoneFn &done)
 }
 
 void
-DasManager::maybePromote(GlobalRowId logical, [[maybe_unused]] Cycle now)
+DasManager::maybePromote(GlobalRowId logical, Cycle now)
 {
     std::uint64_t group = layout_->globalGroupOf(logical);
     if (swapsInFlight_.count(group)) {
@@ -286,6 +286,16 @@ DasManager::maybePromote(GlobalRowId logical, [[maybe_unused]] Cycle now)
     filter_->clear(logical);
     repl_->onFastAccess(group, victim_slot);
     promotions_.inc();
+    if (events_) {
+        TraceInstant ev;
+        ev.name = "promote";
+        ev.tick = now;
+        ev.row = logical;
+        ev.victim = victim;
+        ev.group = group;
+        ev.cause = "threshold";
+        events_->onInstant(ev);
+    }
 
     if (cfg_.zeroMigrationLatency)
         return; // DAS-DRAM (FM): free swaps
@@ -308,8 +318,7 @@ DasManager::maybePromote(GlobalRowId logical, [[maybe_unused]] Cycle now)
 }
 
 void
-DasManager::maybePromoteInclusive(GlobalRowId logical,
-                                  [[maybe_unused]] Cycle now)
+DasManager::maybePromoteInclusive(GlobalRowId logical, Cycle now)
 {
     std::uint64_t group = layout_->globalGroupOf(logical);
     if (swapsInFlight_.count(group)) {
@@ -336,6 +345,16 @@ DasManager::maybePromoteInclusive(GlobalRowId logical,
     repl_->onFastAccess(group, victim_slot);
     promotions_.inc();
     (dirty_victim ? dirtyPromotions_ : cleanPromotions_).inc();
+    if (events_) {
+        TraceInstant ev;
+        ev.name = "promote";
+        ev.tick = now;
+        ev.row = logical;
+        ev.victim = victim;
+        ev.group = group;
+        ev.cause = dirty_victim ? "inclusive-dirty" : "inclusive-clean";
+        events_->onInstant(ev);
+    }
 
     if (cfg_.zeroMigrationLatency)
         return;

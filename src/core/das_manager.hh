@@ -133,6 +133,12 @@ class DasManager
     StatGroup &stats() { return statGroup_; }
     /** Clear statistic counters (not mappings) after warm-up. */
     void resetStats();
+
+    /**
+     * Attach (or detach with nullptr) a point-event observer for
+     * promotion decisions (trace export). Zero cost when null.
+     */
+    void setEventSink(TraceEventSink *sink) { events_ = sink; }
     /// @}
 
   private:
@@ -169,6 +175,8 @@ class DasManager
     std::unique_ptr<TranslationCache> tc_;
     std::unique_ptr<PromotionFilter> filter_;
     std::unique_ptr<FastSlotReplacement> repl_;
+
+    TraceEventSink *events_ = nullptr;
 
     std::deque<PendingAccess> pending_;
     /** In-flight table-line walks: accesses waiting on the same line. */

@@ -81,6 +81,32 @@ class CommandFanout : public CommandSink
 };
 
 /**
+ * A point event from outside the command stream (e.g. a DasManager
+ * promotion decision). Times are in global simulation ticks — event
+ * producers live in the CPU tick domain, unlike CmdRecord's
+ * memory-bus cycles; consumers convert (see mem/clock.hh).
+ */
+struct TraceInstant
+{
+    /** Static event name (not copied; string literals only). */
+    const char *name = "";
+    Cycle tick = 0;
+    std::uint64_t row = kAddrInvalid;    ///< subject logical row
+    std::uint64_t victim = kAddrInvalid; ///< victim logical row, if any
+    std::uint64_t group = 0;             ///< migration group index
+    /** Static cause tag (e.g. "threshold"); may be null. */
+    const char *cause = nullptr;
+};
+
+/** Receives point events; same zero-cost contract as CommandSink. */
+class TraceEventSink
+{
+  public:
+    virtual ~TraceEventSink() = default;
+    virtual void onInstant(const TraceInstant &ev) = 0;
+};
+
+/**
  * Writes one text line per command to a stream. Format (stable, one
  * record per line, documented in DESIGN.md):
  *

@@ -39,6 +39,74 @@ ChannelController::ChannelController(unsigned channel_id,
                           "reads forwarded from the write queue");
     statGroup_.addDistribution("readLatency", &readLatency_,
                                "read latency, memory cycles");
+
+    statGroup_.addHistogram("readLatencyRowHit", &readLatRowHit_,
+                            "read latency, row-buffer hits, mem cycles");
+    statGroup_.addHistogram("readLatencyFast", &readLatFast_,
+                            "read latency, fast-subarray ACTs, mem cycles");
+    statGroup_.addHistogram("readLatencySlow", &readLatSlow_,
+                            "read latency, slow-subarray ACTs, mem cycles");
+    statGroup_.addHistogram("writeLatency", &writeLat_,
+                            "write latency (enqueue → WR), mem cycles");
+    statGroup_.addHistogram("readQueueDelay", &readQueueDelay_,
+                            "enqueue → RD issue, mem cycles");
+    statGroup_.addHistogram("writeQueueDelay", &writeQueueDelay_,
+                            "enqueue → WR issue, mem cycles");
+    statGroup_.addHistogram("readQueueOccupancy", &readQueueOcc_,
+                            "read-queue depth at enqueue");
+    statGroup_.addHistogram("writeQueueOccupancy", &writeQueueOcc_,
+                            "write-queue depth at enqueue");
+    statGroup_.addHistogram("migrationStartDelay", &migrationStartDelay_,
+                            "migration first consideration → start, "
+                            "mem cycles");
+
+    bankStats_.reserve(geom.ranksPerChannel * geom.banksPerRank);
+    for (unsigned r = 0; r < geom.ranksPerChannel; ++r) {
+        for (unsigned b = 0; b < geom.banksPerRank; ++b) {
+            auto bs = std::make_unique<BankStats>(
+                "bank" + std::to_string(r * geom.banksPerRank + b));
+            bs->group.addCounter("rowHits", &bs->rowHits,
+                                 "row-buffer hits");
+            bs->group.addCounter("rowConflicts", &bs->rowConflicts,
+                                 "conflict precharges");
+            bs->group.addCounter("classConflicts", &bs->classConflicts,
+                                 "conflicts crossing row classes");
+            bs->group.addDistribution("readLatency", &bs->readLatency,
+                                      "read latency, memory cycles");
+            statGroup_.addChild(&bs->group);
+            bankStats_.push_back(std::move(bs));
+        }
+    }
+}
+
+ChannelController::BankStats &
+ChannelController::bankStatsOf(unsigned rank_id, unsigned bank_id)
+{
+    return *bankStats_[rank_id * geom_.banksPerRank + bank_id];
+}
+
+const Histogram &
+ChannelController::readLatencyHistogram(ServiceLocation loc) const
+{
+    switch (loc) {
+      case ServiceLocation::FastLevel:
+        return readLatFast_;
+      case ServiceLocation::SlowLevel:
+        return readLatSlow_;
+      case ServiceLocation::Unknown:
+      case ServiceLocation::RowBuffer:
+        break;
+    }
+    return readLatRowHit_;
+}
+
+Distribution
+ChannelController::mergedBankReadLatency() const
+{
+    Distribution merged;
+    for (const auto &bs : bankStats_)
+        merged.merge(bs->readLatency);
+    return merged;
 }
 
 Bank &
@@ -68,10 +136,17 @@ ChannelController::enqueue(std::unique_ptr<MemRequest> req, Cycle now)
     if (req->loc.channel != channelId_)
         panic("request routed to wrong channel");
     req->arrivalTick = now;
-    if (req->isWrite)
+    const bool is_write = req->isWrite;
+    if (is_write)
         writeQueue_.push_back(std::move(req));
     else
         readQueue_.push_back(std::move(req));
+    if (cfg_.histograms) {
+        if (is_write)
+            writeQueueOcc_.sample(writeQueue_.size());
+        else
+            readQueueOcc_.sample(readQueue_.size());
+    }
 }
 
 bool
@@ -150,6 +225,27 @@ ChannelController::finish(std::unique_ptr<MemRequest> req, Cycle at,
     req->completionTick = at;
     if (!req->isWrite)
         readLatency_.sample(static_cast<double>(at - req->arrivalTick));
+    if (cfg_.histograms) {
+        const Cycle lat = at - req->arrivalTick;
+        if (req->isWrite) {
+            writeLat_.sample(lat);
+        } else {
+            switch (req->location) {
+              case ServiceLocation::FastLevel:
+                readLatFast_.sample(lat);
+                break;
+              case ServiceLocation::SlowLevel:
+                readLatSlow_.sample(lat);
+                break;
+              case ServiceLocation::Unknown:
+              case ServiceLocation::RowBuffer:
+                readLatRowHit_.sample(lat);
+                break;
+            }
+            bankStatsOf(req->loc.rank, req->loc.bank)
+                .readLatency.sample(static_cast<double>(lat));
+        }
+    }
     if (req->onComplete)
         req->onComplete(*req, at);
 }
@@ -261,6 +357,8 @@ ChannelController::serviceMigrations(Cycle now)
 
         Cycle dur =
             job.fullSwap ? timing_->swapCycles : timing_->migrationCycles;
+        if (cfg_.histograms)
+            migrationStartDelay_.sample(now - job.enqueuedAt);
         bank.reserve(now, dur, row_lo, row_hi, job.rowA, job.rowB);
         if (sink_) {
             CmdRecord rec;
@@ -335,6 +433,15 @@ ChannelController::tryColumn(MemRequest &req, Cycle now)
     if (req.location == ServiceLocation::Unknown) {
         req.location = ServiceLocation::RowBuffer;
         rowHits_.inc();
+        if (cfg_.histograms)
+            bankStatsOf(req.loc.rank, req.loc.bank).rowHits.inc();
+    }
+    if (cfg_.histograms) {
+        const Cycle wait = now - req.arrivalTick;
+        if (req.isWrite)
+            writeQueueDelay_.sample(wait);
+        else
+            readQueueDelay_.sample(wait);
     }
     if (req.isWrite) {
         Cycle end = bank.write(now);
@@ -399,6 +506,14 @@ ChannelController::tryRowCommand(MemRequest &req, Cycle now)
             return false;
         if (!bank.canPrecharge(now))
             return false;
+        if (cfg_.histograms) {
+            BankStats &bs = bankStatsOf(req.loc.rank, req.loc.bank);
+            bs.rowConflicts.inc();
+            RowClass want = classifier_->classify(
+                channelId_, req.loc.rank, req.loc.bank, req.loc.row);
+            if (want != bank.openRowClass())
+                bs.classConflicts.inc();
+        }
         emitPrecharge(now, req.loc.rank, req.loc.bank, bank);
         bank.precharge(now);
         precharges_.inc();

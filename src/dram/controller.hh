@@ -68,6 +68,13 @@ struct ControllerConfig
      * ChannelController::setCommandSink().
      */
     CommandSink *cmdSink = nullptr;
+
+    /**
+     * Sample per-class latency/queue-delay histograms and per-bank
+     * breakdown stats. The stats are always registered (dumps stay
+     * shape-stable); this only gates the sampling on the hot path.
+     */
+    bool histograms = true;
 };
 
 /** An internal row migration or swap to run in one bank. */
@@ -155,6 +162,17 @@ class ChannelController
     std::uint64_t readCount() const { return reads_.value(); }
     std::uint64_t writeCount() const { return writes_.value(); }
     std::uint64_t migrationCount() const { return migrationsDone_.value(); }
+
+    /**
+     * Read-latency histogram (enqueue → data, memory cycles) for
+     * requests serviced at @p loc: RowBuffer (row hit), FastLevel or
+     * SlowLevel. Unknown aliases to RowBuffer.
+     */
+    const Histogram &readLatencyHistogram(ServiceLocation loc) const;
+    const Histogram &writeLatencyHistogram() const { return writeLat_; }
+
+    /** Per-bank read-latency distributions merged channel-wide. */
+    Distribution mergedBankReadLatency() const;
     /// @}
 
   private:
@@ -236,6 +254,28 @@ class ChannelController
     Counter reads_, writes_, rowHits_, actsFast_, actsSlow_, precharges_;
     Counter refreshes_, migrationsDone_, readForwards_;
     Distribution readLatency_; ///< enqueue → data, in memory cycles
+
+    /** Per-row-class latency and queue histograms (memory cycles /
+     *  queue entries). Sampling gated by ControllerConfig::histograms. */
+    Histogram readLatRowHit_, readLatFast_, readLatSlow_, writeLat_;
+    Histogram readQueueDelay_, writeQueueDelay_;
+    Histogram readQueueOcc_, writeQueueOcc_;
+    Histogram migrationStartDelay_; ///< first consideration → start
+
+    /** Row-buffer behaviour broken down per bank (global bank index
+     *  = rank * banksPerRank + bank), rolled up via merge(). */
+    struct BankStats
+    {
+        explicit BankStats(const std::string &name) : group(name) {}
+        StatGroup group;
+        Counter rowHits;
+        Counter rowConflicts;   ///< PRE issued for a conflicting row
+        Counter classConflicts; ///< conflict where the classes differ
+        Distribution readLatency;
+    };
+    std::vector<std::unique_ptr<BankStats>> bankStats_;
+
+    BankStats &bankStatsOf(unsigned rank_id, unsigned bank_id);
     /// @}
 };
 

@@ -30,6 +30,7 @@ runSimulation(const WorkloadSpec &workload, const SimConfig &cfg_in)
 {
     SimConfig cfg = cfg_in;
     cfg.numCores = static_cast<unsigned>(workload.benchmarks.size());
+    cfg.obs.workloadName = workload.name;
 
     // Deterministic per-(workload, core) traces.
     std::vector<std::unique_ptr<SyntheticTrace>> traces;

@@ -11,6 +11,8 @@
 #ifndef DASDRAM_SIM_SIM_CONFIG_HH
 #define DASDRAM_SIM_SIM_CONFIG_HH
 
+#include <string>
+
 #include "cache/hierarchy.hh"
 #include "core/das_manager.hh"
 #include "core/designs.hh"
@@ -21,6 +23,43 @@
 
 namespace dasdram
 {
+
+/**
+ * Observability knobs: latency/occupancy histograms, the epoch
+ * time-series, and the two export files. Everything is per-System
+ * (sweep-safe); empty paths and epochMemCycles == 0 disable the
+ * corresponding feature at zero cost on the sample path.
+ */
+struct ObservabilityConfig
+{
+    /** Sample latency/queue histograms and per-bank breakdowns. */
+    bool histograms = true;
+
+    /** Epoch length of the stats time-series in memory-controller
+     *  cycles (1.25 ns each); 0 disables the series. */
+    Cycle epochMemCycles = 0;
+
+    /** Stats-JSONL output path (see common/stats_jsonl.hh); written at
+     *  end of run. Empty = off. */
+    std::string statsOut;
+
+    /**
+     * Sweep mode: when non-empty, SweepRunner derives a unique
+     * per-point statsOut under this (existing) directory —
+     * point<idx>_<workload>_<design>[_<label>].jsonl, plus
+     * baseline_<workload>.jsonl for memoised standard baselines.
+     * Ignored by a System run directly.
+     */
+    std::string statsDir;
+
+    /** Chrome trace_event JSON output path (dram/trace_json.hh);
+     *  streamed during the run. Empty = off. */
+    std::string traceOut;
+
+    /** Run identity stamped into the stats meta record. */
+    std::string workloadName;
+    std::string label;
+};
 
 /** Everything needed to build one System. */
 struct SimConfig
@@ -63,6 +102,9 @@ struct SimConfig
 
     /** MSHR entries (outstanding line fills) per core. */
     unsigned mshrsPerCore = 32;
+
+    /** Histograms, epoch series and export files. */
+    ObservabilityConfig obs{};
 
     Addr
     coreBase(unsigned core_id) const

@@ -35,6 +35,20 @@ fnv1a(std::string_view s)
     return h;
 }
 
+/** Filename-safe version of a workload/design/label token. */
+std::string
+sanitizeToken(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '-' || c == '.';
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
 } // namespace
 
 SweepRunner::SweepRunner(SimConfig base, unsigned jobs)
@@ -112,13 +126,17 @@ SweepRunner::baselineFor(const WorkloadSpec &workload)
         cfg.design = DesignKind::Standard;
         cfg.seed = pointSeed(base_.seed, workload.name,
                              DesignKind::Standard);
+        if (!cfg.obs.statsDir.empty()) {
+            cfg.obs.statsOut = cfg.obs.statsDir + "/baseline_" +
+                               sanitizeToken(workload.name) + ".jsonl";
+        }
         promise.set_value(runSimulation(workload, cfg));
     }
     return future.get();
 }
 
 ExperimentResult
-SweepRunner::runPoint(const SweepPoint &point)
+SweepRunner::runPoint(const SweepPoint &point, std::size_t index)
 {
     ExperimentResult res;
     res.workload = point.workload.name;
@@ -138,6 +156,17 @@ SweepRunner::runPoint(const SweepPoint &point)
             point.override(cfg);
         cfg.design = point.design;
         cfg.seed = res.seed;
+        cfg.obs.label = point.label;
+        if (!cfg.obs.statsDir.empty()) {
+            // Deterministic per-point filename: the submission index
+            // disambiguates points that share workload and design.
+            std::string name = "point" + std::to_string(index) + "_" +
+                               sanitizeToken(point.workload.name) + "_" +
+                               sanitizeToken(toString(point.design));
+            if (!point.label.empty())
+                name += "_" + sanitizeToken(point.label);
+            cfg.obs.statsOut = cfg.obs.statsDir + "/" + name + ".jsonl";
+        }
         res.metrics = runSimulation(point.workload, cfg);
         if (point.needBaseline) {
             res.perfImprovement = weightedSpeedupImprovement(
@@ -169,7 +198,7 @@ SweepRunner::run()
             if (i >= points_.size())
                 return;
             try {
-                results[i] = runPoint(points_[i]);
+                results[i] = runPoint(points_[i], i);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(error_mutex);
                 if (!error)

@@ -117,7 +117,8 @@ class SweepRunner
                                    DesignKind design);
 
   private:
-    ExperimentResult runPoint(const SweepPoint &point);
+    ExperimentResult runPoint(const SweepPoint &point,
+                              std::size_t index);
     RunMetrics baselineFor(const WorkloadSpec &workload);
 
     SimConfig base_;

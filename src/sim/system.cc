@@ -3,6 +3,7 @@
 #include <ostream>
 
 #include "common/log.hh"
+#include "common/stats_jsonl.hh"
 
 namespace dasdram
 {
@@ -28,6 +29,7 @@ System::System(const SimConfig &cfg, std::vector<TraceSource *> traces)
         classifier_ ? static_cast<const RowClassifier &>(*classifier_)
                     : static_cast<const RowClassifier &>(*layout_);
 
+    cfg_.ctrl.histograms = cfg_.obs.histograms;
     dram_ = std::make_unique<DramSystem>(cfg_.geom, timing_, cls,
                                          cfg_.ctrl);
     if (cfg_.protocolCheck) {
@@ -36,8 +38,15 @@ System::System(const SimConfig &cfg, std::vector<TraceSource *> traces)
         // independent copy of the reference timing.
         checker_ = std::make_unique<ProtocolChecker>(cfg_.geom, timing_,
                                                      &cls);
-        dram_->setCommandSink(checker_.get());
     }
+    if (!cfg_.obs.traceOut.empty()) {
+        traceFile_ = std::make_unique<std::ofstream>(cfg_.obs.traceOut);
+        if (!*traceFile_)
+            fatal("cannot open '{}' for writing", cfg_.obs.traceOut);
+        chromeTrace_ = std::make_unique<ChromeTraceWriter>(
+            *traceFile_, cfg_.geom, timing_);
+    }
+    rebuildCommandSinks();
     caches_ = std::make_unique<CacheHierarchy>(cfg_.numCores, cfg_.caches,
                                                cfg_.seed);
 
@@ -69,22 +78,56 @@ System::System(const SimConfig &cfg, std::vector<TraceSource *> traces)
     statGroup_.addChild(&das_->stats());
     statGroup_.addChild(&dram_->stats());
     statGroup_.addChild(&mshrs_->stats());
+
+    if (chromeTrace_)
+        das_->setEventSink(chromeTrace_.get());
+    if (cfg_.obs.epochMemCycles > 0) {
+        epochs_ = std::make_unique<EpochSeries>(statGroup_,
+                                                cfg_.obs.epochMemCycles);
+    }
 }
 
 System::~System() = default;
 
 void
+System::rebuildCommandSinks()
+{
+    CommandSink *single = nullptr;
+    unsigned active = 0;
+    for (CommandSink *s :
+         {static_cast<CommandSink *>(checker_.get()),
+          static_cast<CommandSink *>(cmdTrace_.get()),
+          static_cast<CommandSink *>(chromeTrace_.get())}) {
+        if (s) {
+            single = s;
+            ++active;
+        }
+    }
+    if (active <= 1) {
+        dram_->setCommandSink(single);
+        return;
+    }
+    cmdFanout_ = std::make_unique<CommandFanout>();
+    cmdFanout_->addSink(checker_.get());
+    cmdFanout_->addSink(cmdTrace_.get());
+    cmdFanout_->addSink(chromeTrace_.get());
+    dram_->setCommandSink(cmdFanout_.get());
+}
+
+void
 System::attachCommandTrace(std::ostream &os)
 {
     cmdTrace_ = std::make_unique<CommandTrace>(os);
-    if (checker_) {
-        cmdFanout_ = std::make_unique<CommandFanout>();
-        cmdFanout_->addSink(checker_.get());
-        cmdFanout_->addSink(cmdTrace_.get());
-        dram_->setCommandSink(cmdFanout_.get());
-    } else {
-        dram_->setCommandSink(cmdTrace_.get());
-    }
+    rebuildCommandSinks();
+}
+
+void
+System::attachChromeTrace(std::ostream &os)
+{
+    chromeTrace_ =
+        std::make_unique<ChromeTraceWriter>(os, cfg_.geom, timing_);
+    das_->setEventSink(chromeTrace_.get());
+    rebuildCommandSinks();
 }
 
 void
@@ -146,6 +189,8 @@ System::resetAfterWarmup()
     statGroup_.resetAll();
     das_->resetStats();
     warmupCycleStamp_ = now_;
+    if (epochs_)
+        epochs_->restart(now_ / kMemTick);
 }
 
 RunMetrics
@@ -176,6 +221,8 @@ System::run()
         dram_->tick(now_);
         for (auto &core : cores_)
             core->tick(now_);
+        if (epochs_)
+            epochs_->maybeSample(now_ / kMemTick);
 
         next_cpu_at += kCpuTick;
 
@@ -206,6 +253,17 @@ System::run()
     m.footprintRows = das_->footprintRows();
     m.energy = dram_->energyBreakdown();
 
+    if (epochs_)
+        epochs_->flush(now_ / kMemTick);
+    if (chromeTrace_)
+        chromeTrace_->finish();
+    if (!cfg_.obs.statsOut.empty()) {
+        std::ofstream os(cfg_.obs.statsOut);
+        if (!os)
+            fatal("cannot open '{}' for writing", cfg_.obs.statsOut);
+        writeStatsJsonl(os);
+    }
+
     if (checker_ && checker_->violationCount() > 0) {
         panic("DRAM protocol checker found {} violation(s) over {} "
               "commands; first: {}",
@@ -219,6 +277,54 @@ void
 System::dumpStats(std::ostream &os) const
 {
     statGroup_.dump(os);
+}
+
+void
+System::writeStatsJsonl(std::ostream &os) const
+{
+    StatsJsonlMeta meta;
+    meta.workload = cfg_.obs.workloadName;
+    meta.design = toString(cfg_.design);
+    meta.label = cfg_.obs.label;
+    meta.seed = cfg_.seed;
+    meta.instructions = cfg_.instructionsPerCore;
+    meta.epochCycles = epochs_ ? epochs_->epochLength() : 0;
+    dasdram::writeStatsJsonl(os, statGroup_, epochs_.get(), meta);
+
+    // Cross-channel rollups: the per-row-class read-latency picture
+    // the paper's analysis needs, without making consumers merge
+    // per-channel histograms themselves.
+    Histogram read_all, read_row_hit, read_fast, read_slow, write_all;
+    Distribution bank_read;
+    for (unsigned c = 0; c < dram_->numChannels(); ++c) {
+        const ChannelController &ch = dram_->channel(c);
+        read_row_hit.merge(
+            ch.readLatencyHistogram(ServiceLocation::RowBuffer));
+        read_fast.merge(
+            ch.readLatencyHistogram(ServiceLocation::FastLevel));
+        read_slow.merge(
+            ch.readLatencyHistogram(ServiceLocation::SlowLevel));
+        write_all.merge(ch.writeLatencyHistogram());
+        bank_read.merge(ch.mergedBankReadLatency());
+    }
+    read_all.merge(read_row_hit);
+    read_all.merge(read_fast);
+    read_all.merge(read_slow);
+
+    StatGroup rollup("rollup");
+    rollup.addHistogram("readLatency", &read_all,
+                        "read latency, all classes, mem cycles");
+    rollup.addHistogram("readLatencyRowHit", &read_row_hit,
+                        "read latency, row-buffer hits, mem cycles");
+    rollup.addHistogram("readLatencyFast", &read_fast,
+                        "read latency, fast subarrays, mem cycles");
+    rollup.addHistogram("readLatencySlow", &read_slow,
+                        "read latency, slow subarrays, mem cycles");
+    rollup.addHistogram("writeLatency", &write_all,
+                        "write latency, mem cycles");
+    rollup.addDistribution("bankReadLatency", &bank_read,
+                           "per-bank read latency merged system-wide");
+    writeStatsJsonlGroup(os, rollup);
 }
 
 } // namespace dasdram

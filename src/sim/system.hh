@@ -7,6 +7,7 @@
 #ifndef DASDRAM_SIM_SYSTEM_HH
 #define DASDRAM_SIM_SYSTEM_HH
 
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <queue>
@@ -14,11 +15,13 @@
 
 #include "cache/hierarchy.hh"
 #include "cache/mshr.hh"
+#include "common/epoch_series.hh"
 #include "core/das_manager.hh"
 #include "core/designs.hh"
 #include "cpu/core.hh"
 #include "dram/dram_system.hh"
 #include "dram/protocol_checker.hh"
+#include "dram/trace_json.hh"
 #include "sim/sim_config.hh"
 
 namespace dasdram
@@ -110,8 +113,27 @@ class System
      */
     void attachCommandTrace(std::ostream &os);
 
+    /**
+     * Stream a Chrome trace_event JSON of the command stream (and
+     * DasManager promotion instants) to @p os; finalised at end of
+     * run(). Call before run(); @p os must outlive the system. Used
+     * by tests; cfg.obs.traceOut does this against a file.
+     */
+    void attachChromeTrace(std::ostream &os);
+
     /** Dump all statistics (post-run) to @p os. */
     void dumpStats(std::ostream &os) const;
+
+    /**
+     * Write the stats-JSONL export (schema in common/stats_jsonl.hh):
+     * the full stat tree, system-level per-class read-latency rollups
+     * (rollup.readLatency*), and the epoch series when enabled.
+     * Call post-run; cfg.obs.statsOut does this against a file.
+     */
+    void writeStatsJsonl(std::ostream &os) const;
+
+    /** The epoch series (nullptr when cfg.obs.epochMemCycles == 0). */
+    const EpochSeries *epochs() const { return epochs_.get(); }
 
   private:
     void handleCoreAccess(unsigned core, Addr addr, bool is_write,
@@ -119,6 +141,8 @@ class System
     void scheduleEvent(Cycle at, std::function<void()> fn);
     void startMiss(unsigned core, Addr line, bool is_write, Cycle at);
     void resetAfterWarmup();
+    /** Re-point every channel at the active set of command sinks. */
+    void rebuildCommandSinks();
 
     SimConfig cfg_;
     std::vector<TraceSource *> traces_;
@@ -128,7 +152,10 @@ class System
     DramTiming timing_;
     std::unique_ptr<ProtocolChecker> checker_;
     std::unique_ptr<CommandTrace> cmdTrace_;
+    std::unique_ptr<ChromeTraceWriter> chromeTrace_;
+    std::unique_ptr<std::ofstream> traceFile_; ///< backs obs.traceOut
     std::unique_ptr<CommandFanout> cmdFanout_;
+    std::unique_ptr<EpochSeries> epochs_;
     std::unique_ptr<DramSystem> dram_;
     std::unique_ptr<CacheHierarchy> caches_;
     std::unique_ptr<DasManager> das_;

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unit tests for EpochSeries: boundary emission, delta semantics,
+ * multi-boundary fast-forward, warm-up restart and the end-of-run
+ * flush of a trailing partial epoch.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/epoch_series.hh"
+
+using namespace dasdram;
+
+namespace
+{
+
+/** A StatGroup with one counter and one histogram to track. */
+struct Fixture
+{
+    StatGroup group{"sys"};
+    Counter reads;
+    Histogram lat;
+
+    Fixture()
+    {
+        group.addCounter("reads", &reads);
+        group.addHistogram("lat", &lat);
+    }
+
+    std::size_t
+    nameIndex(const EpochSeries &s, const std::string &name) const
+    {
+        const auto &names = s.names();
+        for (std::size_t i = 0; i < names.size(); ++i)
+            if (names[i] == name)
+                return i;
+        ADD_FAILURE() << "no tracked name " << name;
+        return 0;
+    }
+};
+
+} // namespace
+
+TEST(EpochSeries, TracksCountersAndHistMoments)
+{
+    Fixture f;
+    EpochSeries s(f.group, 100);
+    // Counters by name; dists/hists as .count and .sum.
+    const auto &names = s.names();
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "sys.reads");
+    EXPECT_EQ(names[1], "sys.lat.count");
+    EXPECT_EQ(names[2], "sys.lat.sum");
+}
+
+TEST(EpochSeries, EmitsDeltasPerEpoch)
+{
+    Fixture f;
+    EpochSeries s(f.group, 100);
+
+    f.reads.inc(5);
+    f.lat.sample(10);
+    s.maybeSample(50); // inside epoch 0: nothing emitted
+    EXPECT_TRUE(s.epochs().empty());
+
+    s.maybeSample(100); // epoch 0 [0, 100) closes
+    ASSERT_EQ(s.epochs().size(), 1u);
+    const auto &e0 = s.epochs()[0];
+    EXPECT_EQ(e0.index, 0u);
+    EXPECT_EQ(e0.start, 0u);
+    EXPECT_EQ(e0.end, 100u);
+    EXPECT_DOUBLE_EQ(e0.deltas[f.nameIndex(s, "sys.reads")], 5.0);
+    EXPECT_DOUBLE_EQ(e0.deltas[f.nameIndex(s, "sys.lat.count")], 1.0);
+    EXPECT_DOUBLE_EQ(e0.deltas[f.nameIndex(s, "sys.lat.sum")], 10.0);
+
+    // Second epoch sees only the increments since the first boundary.
+    f.reads.inc(2);
+    s.maybeSample(200);
+    ASSERT_EQ(s.epochs().size(), 2u);
+    EXPECT_DOUBLE_EQ(
+        s.epochs()[1].deltas[f.nameIndex(s, "sys.reads")], 2.0);
+    EXPECT_DOUBLE_EQ(
+        s.epochs()[1].deltas[f.nameIndex(s, "sys.lat.count")], 0.0);
+}
+
+TEST(EpochSeries, FastForwardAttributesDeltaToFirstElapsedEpoch)
+{
+    Fixture f;
+    EpochSeries s(f.group, 100);
+    f.reads.inc(7);
+    s.maybeSample(350); // three whole epochs elapsed at once
+    ASSERT_EQ(s.epochs().size(), 3u);
+    EXPECT_DOUBLE_EQ(
+        s.epochs()[0].deltas[f.nameIndex(s, "sys.reads")], 7.0);
+    EXPECT_DOUBLE_EQ(
+        s.epochs()[1].deltas[f.nameIndex(s, "sys.reads")], 0.0);
+    EXPECT_DOUBLE_EQ(
+        s.epochs()[2].deltas[f.nameIndex(s, "sys.reads")], 0.0);
+    EXPECT_EQ(s.epochs()[2].start, 200u);
+    EXPECT_EQ(s.epochs()[2].end, 300u);
+}
+
+TEST(EpochSeries, RestartRealignsAfterWarmupReset)
+{
+    Fixture f;
+    EpochSeries s(f.group, 100);
+    f.reads.inc(100);
+    s.maybeSample(100);
+    ASSERT_EQ(s.epochs().size(), 1u);
+
+    // Warm-up end: the owner resets the stats and the series restarts.
+    f.group.resetAll();
+    s.restart(130);
+    EXPECT_TRUE(s.epochs().empty()); // history discarded
+
+    f.reads.inc(4);
+    s.maybeSample(229); // boundary is base + 100 = 230: not yet
+    EXPECT_TRUE(s.epochs().empty());
+    s.maybeSample(230);
+    ASSERT_EQ(s.epochs().size(), 1u);
+    EXPECT_EQ(s.epochs()[0].index, 0u);
+    EXPECT_EQ(s.epochs()[0].start, 130u);
+    EXPECT_EQ(s.epochs()[0].end, 230u);
+    // The post-reset baseline is the reset value, not the old one: the
+    // delta is 4, not 4 - 100.
+    EXPECT_DOUBLE_EQ(
+        s.epochs()[0].deltas[f.nameIndex(s, "sys.reads")], 4.0);
+}
+
+TEST(EpochSeries, FlushEmitsTrailingPartialEpoch)
+{
+    Fixture f;
+    EpochSeries s(f.group, 100);
+    f.reads.inc(3);
+    s.maybeSample(100);
+    f.reads.inc(9);
+    s.flush(140); // partial epoch [100, 140)
+    ASSERT_EQ(s.epochs().size(), 2u);
+    EXPECT_EQ(s.epochs()[1].start, 100u);
+    EXPECT_EQ(s.epochs()[1].end, 140u);
+    EXPECT_DOUBLE_EQ(
+        s.epochs()[1].deltas[f.nameIndex(s, "sys.reads")], 9.0);
+}
+
+TEST(EpochSeries, FlushAtBoundaryEmitsNothingExtra)
+{
+    Fixture f;
+    EpochSeries s(f.group, 100);
+    f.reads.inc(1);
+    s.maybeSample(200);
+    std::size_t n = s.epochs().size();
+    s.flush(200); // no time past the last boundary
+    EXPECT_EQ(s.epochs().size(), n);
+}
+
+TEST(EpochSeriesDeath, ZeroEpochLengthPanics)
+{
+    Fixture f;
+    EXPECT_DEATH(EpochSeries(f.group, 0), "epoch length");
+}

@@ -201,3 +201,51 @@ TEST(JsonlRecords, MissingKeyFieldsRenderAsQuestionMarks)
               "mcf | ? | ?");
     EXPECT_EQ(jsonlRecordKey(parsed("{\"label\": 3}")), "? | ? | ?");
 }
+
+TEST(JsonlRecords, TypedStatsRecordsKeyOnTypeAndName)
+{
+    // dasdram-stats records (stats_jsonl.hh) key on type|name, so two
+    // stats dumps diff stat-by-stat instead of line-by-line.
+    EXPECT_EQ(jsonlRecordKey(parsed(
+                  "{\"type\": \"counter\", \"name\": \"sys.reads\", "
+                  "\"value\": 3}")),
+              "counter | sys.reads");
+    EXPECT_EQ(jsonlRecordKey(parsed(
+                  "{\"type\": \"hist\", \"name\": \"ctrl.lat\"}")),
+              "hist | ctrl.lat");
+    // Epoch records have no name; the index disambiguates them.
+    EXPECT_EQ(jsonlRecordKey(parsed(
+                  "{\"type\": \"epoch\", \"index\": 4}")),
+              "epoch | 4");
+    // The meta record is a singleton: the bare type is the key.
+    EXPECT_EQ(jsonlRecordKey(parsed(
+                  "{\"type\": \"meta\", \"schema\": \"dasdram-stats\"}")),
+              "meta");
+}
+
+TEST(JsonlRecords, TypedStatsDumpsDiffByStatName)
+{
+    TempJsonl a({
+        "{\"type\": \"meta\", \"schema\": \"dasdram-stats\"}",
+        "{\"type\": \"counter\", \"name\": \"sys.reads\", \"value\": 3}",
+        "{\"type\": \"counter\", \"name\": \"sys.writes\", \"value\": 1}",
+    });
+    TempJsonl b({
+        "{\"type\": \"meta\", \"schema\": \"dasdram-stats\"}",
+        // Same records, different line order: keys must still match up.
+        "{\"type\": \"counter\", \"name\": \"sys.writes\", \"value\": 1}",
+        "{\"type\": \"counter\", \"name\": \"sys.reads\", \"value\": 4}",
+    });
+    JsonlRecordMap ra, rb;
+    std::string err;
+    ASSERT_TRUE(loadJsonlRecords(a.path(), ra, &err)) << err;
+    ASSERT_TRUE(loadJsonlRecords(b.path(), rb, &err)) << err;
+    ASSERT_TRUE(ra.count("counter | sys.reads"));
+    ASSERT_TRUE(rb.count("counter | sys.reads"));
+    EXPECT_EQ(diffJsonValues("", ra["counter | sys.writes"],
+                             rb["counter | sys.writes"], 0.0, nullptr),
+              0u);
+    EXPECT_EQ(diffJsonValues("", ra["counter | sys.reads"],
+                             rb["counter | sys.reads"], 0.0, nullptr),
+              1u);
+}

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "common/stats.hh"
 
@@ -105,4 +107,249 @@ TEST(StatGroup, ResetAllRecurses)
     parent.resetAll();
     EXPECT_EQ(a.value(), 0u);
     EXPECT_EQ(b.value(), 0u);
+}
+
+TEST(Distribution, MergeFoldsMoments)
+{
+    Distribution a, b;
+    a.sample(2.0);
+    a.sample(4.0);
+    b.sample(10.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.sum(), 16.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 10.0);
+}
+
+TEST(Distribution, MergeWithEmptySides)
+{
+    Distribution a, empty;
+    a.sample(5.0);
+    a.merge(empty); // identity
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_DOUBLE_EQ(a.min(), 5.0);
+
+    Distribution c;
+    c.merge(a); // empty self adopts other wholesale
+    EXPECT_EQ(c.count(), 1u);
+    EXPECT_DOUBLE_EQ(c.min(), 5.0);
+    EXPECT_DOUBLE_EQ(c.max(), 5.0);
+}
+
+TEST(Distribution, ResetReseedsExtrema)
+{
+    // The audited semantics: pre-reset extrema never leak into the
+    // next window — the first post-reset sample re-seeds min and max.
+    Distribution d;
+    d.sample(-5.0);
+    d.sample(100.0);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.min(), 0.0);
+    EXPECT_DOUBLE_EQ(d.max(), 0.0);
+    d.sample(1.0);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 1.0);
+}
+
+TEST(Histogram, EmptyIsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.p50(), 0u);
+    EXPECT_EQ(h.percentile(100.0), 0u);
+}
+
+TEST(Histogram, BucketGeometryRoundTrip)
+{
+    // Every bucket's [lo, hi) range maps back to that bucket, and the
+    // ranges tile the value space without gaps or overlaps.
+    for (std::size_t i = 0; i + 1 < Histogram::kNumBuckets; ++i) {
+        const std::uint64_t lo = Histogram::bucketLo(i);
+        const std::uint64_t hi = Histogram::bucketHi(i);
+        ASSERT_LT(lo, hi) << "bucket " << i;
+        EXPECT_EQ(Histogram::bucketIndex(lo), i);
+        EXPECT_EQ(Histogram::bucketIndex(hi - 1), i);
+        EXPECT_EQ(Histogram::bucketLo(i + 1), hi)
+            << "gap after bucket " << i;
+    }
+    // Spot values across the dynamic range stay within their bucket.
+    for (std::uint64_t v :
+         {0ull, 7ull, 8ull, 100ull, 4096ull, 1'000'000'007ull,
+          (1ull << 62) + 12345ull, ~0ull}) {
+        std::size_t i = Histogram::bucketIndex(v);
+        ASSERT_LT(i, Histogram::kNumBuckets);
+        EXPECT_GE(v, Histogram::bucketLo(i));
+        // The topmost bucket's upper bound saturates at 2^64 - 1 and
+        // the bound is exclusive, so the maximum value itself may only
+        // land in a saturated bucket.
+        const std::uint64_t hi = Histogram::bucketHi(i);
+        EXPECT_TRUE(v < hi || hi == ~0ull) << v;
+    }
+}
+
+TEST(Histogram, ExactBelowSubBucketRange)
+{
+    // Values below 2^kSubBucketBits land in width-1 buckets, so
+    // percentiles are exact.
+    Histogram h;
+    for (std::uint64_t v = 0; v < Histogram::kSubBuckets; ++v)
+        h.sample(v);
+    EXPECT_EQ(h.count(), Histogram::kSubBuckets);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), Histogram::kSubBuckets - 1);
+    // rank = ceil(p/100 * 8): p50 -> 4th smallest = 3.
+    EXPECT_EQ(h.p50(), 3u);
+    EXPECT_EQ(h.percentile(100.0), Histogram::kSubBuckets - 1);
+    EXPECT_EQ(h.percentile(12.5), 0u);
+}
+
+TEST(Histogram, PercentileResolutionAboveLinearRange)
+{
+    Histogram h;
+    h.sample(1000);
+    // A single sample: every percentile clamps to the observed value.
+    EXPECT_EQ(h.p50(), 1000u);
+    EXPECT_EQ(h.p999(), 1000u);
+
+    h.sample(2000);
+    // p50 is the upper bound of 1000's bucket: within one sub-bucket
+    // width (12.5%) above the true median sample.
+    EXPECT_GE(h.p50(), 1000u);
+    EXPECT_LT(h.p50(), 1125u);
+    EXPECT_EQ(h.percentile(100.0), 2000u);
+}
+
+TEST(Histogram, PercentileClampsToObservedRange)
+{
+    Histogram h;
+    for (int i = 0; i < 100; ++i)
+        h.sample(1000);
+    // All mass in one wide bucket; clamping keeps answers at the
+    // observed extremum instead of the bucket bound.
+    EXPECT_EQ(h.p50(), 1000u);
+    EXPECT_EQ(h.p99(), 1000u);
+    EXPECT_EQ(h.mean(), 1000.0);
+}
+
+TEST(Histogram, MergeIsBucketWise)
+{
+    Histogram a, b;
+    a.sample(1);
+    a.sample(2);
+    a.sample(3);
+    b.sample(7);
+    b.sample(100);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 5u);
+    EXPECT_DOUBLE_EQ(a.sum(), 113.0);
+    EXPECT_EQ(a.min(), 1u);
+    EXPECT_EQ(a.max(), 100u);
+    EXPECT_EQ(a.p50(), 3u);
+    // Merging an empty histogram is the identity.
+    Histogram empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 5u);
+    EXPECT_EQ(a.max(), 100u);
+}
+
+TEST(Histogram, ResetReseedsExtrema)
+{
+    Histogram h;
+    h.sample(500);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    h.sample(3);
+    EXPECT_EQ(h.min(), 3u);
+    EXPECT_EQ(h.max(), 3u);
+    EXPECT_EQ(h.p50(), 3u);
+}
+
+TEST(StatGroup, DumpContainsHistogramSummary)
+{
+    StatGroup g("ctrl");
+    Histogram h;
+    h.sample(4);
+    h.sample(6);
+    g.addHistogram("readLatency", &h, "read latency");
+    std::ostringstream oss;
+    g.dump(oss);
+    EXPECT_NE(oss.str().find("ctrl.readLatency"), std::string::npos);
+    EXPECT_NE(oss.str().find("read latency"), std::string::npos);
+}
+
+TEST(StatGroup, VisitorSeesAllKindsFullyQualified)
+{
+    StatGroup parent("sys");
+    StatGroup child("bank0");
+    Counter c;
+    Distribution d;
+    Histogram h;
+    c.inc(2);
+    d.sample(1.0);
+    h.sample(9);
+    parent.addCounter("reads", &c);
+    parent.addFormula("twice",
+                      [&c] { return 2.0 * static_cast<double>(c.value()); });
+    child.addDistribution("lat", &d);
+    child.addHistogram("occ", &h);
+    parent.addChild(&child);
+
+    struct Names : StatVisitor
+    {
+        std::vector<std::string> seen;
+        void onCounter(const std::string &n, const Counter &,
+                       const std::string &) override
+        {
+            seen.push_back(n);
+        }
+        void onDistribution(const std::string &n, const Distribution &,
+                            const std::string &) override
+        {
+            seen.push_back(n);
+        }
+        void onHistogram(const std::string &n, const Histogram &,
+                         const std::string &) override
+        {
+            seen.push_back(n);
+        }
+        void onFormula(const std::string &n, double,
+                       const std::string &) override
+        {
+            seen.push_back(n);
+        }
+    } v;
+    parent.visit(v);
+    ASSERT_EQ(v.seen.size(), 4u);
+    EXPECT_EQ(v.seen[0], "sys.reads");
+    EXPECT_EQ(v.seen[1], "sys.twice");
+    EXPECT_EQ(v.seen[2], "sys.bank0.lat");
+    EXPECT_EQ(v.seen[3], "sys.bank0.occ");
+}
+
+TEST(StatGroupDeath, DuplicateStatNamePanics)
+{
+    StatGroup g("g");
+    Counter a, b;
+    g.addCounter("reads", &a);
+    EXPECT_DEATH(g.addCounter("reads", &b), "duplicate stat name");
+    // The namespace is shared across stat kinds.
+    Histogram h;
+    EXPECT_DEATH(g.addHistogram("reads", &h), "duplicate stat name");
+}
+
+TEST(StatGroupDeath, DuplicateChildPanics)
+{
+    StatGroup parent("p");
+    StatGroup child("c");
+    parent.addChild(&child);
+    EXPECT_DEATH(parent.addChild(&child), "registered twice");
+    StatGroup other("c");
+    EXPECT_DEATH(parent.addChild(&other), "duplicate child name");
 }

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Schema tests for the stats-JSONL export: every line parses as JSON,
+ * the meta record carries the schema name/version and run identity,
+ * histogram records expose exact percentiles and their non-empty
+ * buckets, and epoch records carry only non-zero deltas. This is the
+ * golden guard for kStatsJsonlVersion: if the shape changes, these
+ * expectations (and the version) must move together.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/epoch_series.hh"
+#include "common/json.hh"
+#include "common/stats_jsonl.hh"
+
+using namespace dasdram;
+
+namespace
+{
+
+/** Parse a JSONL dump into one JsonValue per line, asserting validity. */
+std::vector<JsonValue>
+parseLines(const std::string &text)
+{
+    std::vector<JsonValue> out;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        EXPECT_FALSE(line.empty());
+        JsonValue v;
+        std::string err;
+        EXPECT_TRUE(parseJson(line, v, &err)) << line << ": " << err;
+        out.push_back(std::move(v));
+    }
+    return out;
+}
+
+double
+num(const JsonValue &v, const char *key)
+{
+    const JsonValue *f = v.find(key);
+    EXPECT_TRUE(f && f->isNumber()) << key;
+    return f && f->isNumber() ? f->number : 0.0;
+}
+
+std::string
+str(const JsonValue &v, const char *key)
+{
+    const JsonValue *f = v.find(key);
+    EXPECT_TRUE(f && f->isString()) << key;
+    return f && f->isString() ? f->string : std::string();
+}
+
+const JsonValue *
+findByName(const std::vector<JsonValue> &recs, const std::string &type,
+           const std::string &name)
+{
+    for (const JsonValue &v : recs) {
+        const JsonValue *t = v.find("type");
+        const JsonValue *n = v.find("name");
+        if (t && t->isString() && t->string == type && n &&
+            n->isString() && n->string == name) {
+            return &v;
+        }
+    }
+    return nullptr;
+}
+
+} // namespace
+
+TEST(StatsJsonl, MetaRecordLeadsWithSchemaAndIdentity)
+{
+    StatGroup g("sys");
+    Counter c;
+    g.addCounter("reads", &c);
+
+    StatsJsonlMeta meta;
+    meta.workload = "mcf";
+    meta.design = "DAS-DRAM";
+    meta.label = "fig9";
+    meta.seed = 1234;
+    meta.instructions = 500000;
+    meta.epochCycles = 1000;
+
+    std::ostringstream os;
+    writeStatsJsonl(os, g, nullptr, meta);
+    auto recs = parseLines(os.str());
+    ASSERT_GE(recs.size(), 2u);
+
+    const JsonValue &m = recs[0];
+    EXPECT_EQ(str(m, "type"), "meta");
+    EXPECT_EQ(str(m, "schema"), kStatsJsonlSchema);
+    EXPECT_EQ(num(m, "version"), kStatsJsonlVersion);
+    EXPECT_EQ(str(m, "workload"), "mcf");
+    EXPECT_EQ(str(m, "design"), "DAS-DRAM");
+    EXPECT_EQ(str(m, "label"), "fig9");
+    EXPECT_EQ(num(m, "seed"), 1234.0);
+    EXPECT_EQ(num(m, "instructions"), 500000.0);
+    EXPECT_EQ(num(m, "epoch_cycles"), 1000.0);
+}
+
+TEST(StatsJsonl, RecordsForEveryStatKind)
+{
+    StatGroup g("sys");
+    StatGroup child("ctrl");
+    Counter c;
+    Distribution d;
+    Histogram h;
+    c.inc(3);
+    d.sample(2.0);
+    d.sample(6.0);
+    for (std::uint64_t v = 1; v <= 4; ++v)
+        h.sample(v);
+    g.addCounter("reads", &c);
+    g.addFormula("twice",
+                 [&c] { return 2.0 * static_cast<double>(c.value()); });
+    child.addDistribution("lat", &d);
+    child.addHistogram("occ", &h);
+    g.addChild(&child);
+
+    std::ostringstream os;
+    writeStatsJsonl(os, g, nullptr, StatsJsonlMeta{});
+    auto recs = parseLines(os.str());
+
+    const JsonValue *cr = findByName(recs, "counter", "sys.reads");
+    ASSERT_TRUE(cr);
+    EXPECT_EQ(num(*cr, "value"), 3.0);
+
+    const JsonValue *fr = findByName(recs, "formula", "sys.twice");
+    ASSERT_TRUE(fr);
+    EXPECT_EQ(num(*fr, "value"), 6.0);
+
+    const JsonValue *dr = findByName(recs, "dist", "sys.ctrl.lat");
+    ASSERT_TRUE(dr);
+    EXPECT_EQ(num(*dr, "count"), 2.0);
+    EXPECT_EQ(num(*dr, "mean"), 4.0);
+    EXPECT_EQ(num(*dr, "min"), 2.0);
+    EXPECT_EQ(num(*dr, "max"), 6.0);
+    EXPECT_EQ(num(*dr, "sum"), 8.0);
+
+    const JsonValue *hr = findByName(recs, "hist", "sys.ctrl.occ");
+    ASSERT_TRUE(hr);
+    EXPECT_EQ(num(*hr, "count"), 4.0);
+    EXPECT_EQ(num(*hr, "min"), 1.0);
+    EXPECT_EQ(num(*hr, "max"), 4.0);
+    // Sub-bucket-range data: exact percentiles.
+    EXPECT_EQ(num(*hr, "p50"), 2.0);
+    EXPECT_EQ(num(*hr, "p99"), 4.0);
+    EXPECT_EQ(num(*hr, "p999"), 4.0);
+
+    // Buckets: [lo, hi, count] triples, non-empty only, covering all
+    // samples.
+    const JsonValue *buckets = hr->find("buckets");
+    ASSERT_TRUE(buckets && buckets->isArray());
+    ASSERT_EQ(buckets->array.size(), 4u); // values 1..4, width-1 buckets
+    double total = 0;
+    for (const JsonValue &b : buckets->array) {
+        ASSERT_TRUE(b.isArray());
+        ASSERT_EQ(b.array.size(), 3u);
+        EXPECT_LT(b.array[0].number, b.array[1].number);
+        EXPECT_GT(b.array[2].number, 0.0);
+        total += b.array[2].number;
+    }
+    EXPECT_EQ(total, 4.0);
+}
+
+TEST(StatsJsonl, EpochRecordsCarryNonZeroDeltasOnly)
+{
+    StatGroup g("sys");
+    Counter reads, writes;
+    g.addCounter("reads", &reads);
+    g.addCounter("writes", &writes);
+    EpochSeries s(g, 100);
+    reads.inc(5); // writes stays 0
+    s.maybeSample(100);
+
+    std::ostringstream os;
+    writeStatsJsonl(os, g, &s, StatsJsonlMeta{});
+    auto recs = parseLines(os.str());
+
+    const JsonValue *epoch = nullptr;
+    for (const JsonValue &v : recs) {
+        const JsonValue *t = v.find("type");
+        if (t && t->isString() && t->string == "epoch")
+            epoch = &v;
+    }
+    ASSERT_TRUE(epoch);
+    EXPECT_EQ(num(*epoch, "index"), 0.0);
+    EXPECT_EQ(num(*epoch, "start"), 0.0);
+    EXPECT_EQ(num(*epoch, "end"), 100.0);
+    const JsonValue *values = epoch->find("values");
+    ASSERT_TRUE(values && values->isObject());
+    ASSERT_TRUE(values->find("sys.reads"));
+    EXPECT_EQ(values->find("sys.reads")->number, 5.0);
+    EXPECT_FALSE(values->find("sys.writes")); // zero delta omitted
+}
+
+TEST(StatsJsonl, GroupAppendHasNoMetaLine)
+{
+    StatGroup g("rollup");
+    Histogram h;
+    h.sample(7);
+    g.addHistogram("readLatency", &h);
+
+    std::ostringstream os;
+    writeStatsJsonlGroup(os, g);
+    auto recs = parseLines(os.str());
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_EQ(str(recs[0], "type"), "hist");
+    EXPECT_EQ(str(recs[0], "name"), "rollup.readLatency");
+}
+
+TEST(StatsJsonl, DeterministicBytes)
+{
+    StatGroup g("sys");
+    Counter c;
+    c.inc(9);
+    Histogram h;
+    h.sample(42);
+    g.addCounter("reads", &c);
+    g.addHistogram("lat", &h);
+    StatsJsonlMeta meta;
+    meta.workload = "lbm";
+    std::ostringstream a, b;
+    writeStatsJsonl(a, g, nullptr, meta);
+    writeStatsJsonl(b, g, nullptr, meta);
+    EXPECT_EQ(a.str(), b.str());
+}

@@ -11,6 +11,13 @@
  *   dasdram_fuzz --seed 7 --requests 5000
  *   dasdram_fuzz --filter das/tiny-queues
  *   dasdram_fuzz --trace-cmds cmds.txt --filter das/base
+ *   dasdram_fuzz --trace-out t.json --filter das/migrate-heavy
+ *
+ * --trace-cmds appends every issued command of every matching case as
+ * text; --trace-out writes a Chrome trace_event JSON timeline of the
+ * FIRST matching case only (each case has its own geometry, and a
+ * Chrome trace is a single timeline) — narrow with --filter to pick
+ * the case. Both may be given at once.
  */
 
 #include <cstdio>
@@ -20,6 +27,7 @@
 #include <string>
 
 #include "common/log.hh"
+#include "dram/trace_json.hh"
 #include "sim/fuzz.hh"
 
 using namespace dasdram;
@@ -37,6 +45,10 @@ usage(const char *argv0)
         "  --requests N      demand requests per case (default 2000)\n"
         "  --filter STR      only run cases whose name contains STR\n"
         "  --trace-cmds FILE also write every issued command to FILE\n"
+        "  --trace-out FILE  write a Chrome trace_event JSON timeline "
+        "of the\n"
+        "                    first matching case to FILE (use --filter "
+        "to pick it)\n"
         "  --list            print case names and per-case seeds, then "
         "exit\n"
         "  --quiet           only report failures and the final "
@@ -53,12 +65,28 @@ main(int argc, char **argv)
     unsigned requests = 2000;
     std::string filter;
     std::string trace_path;
+    std::string chrome_path;
     bool list_only = false;
     bool quiet = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
+        // Accept --flag=value as well as --flag value.
+        std::string inline_value;
+        bool has_inline = false;
+        if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-') {
+            if (std::size_t eq = arg.find('=');
+                eq != std::string::npos) {
+                inline_value = arg.substr(eq + 1);
+                arg.erase(eq);
+                has_inline = true;
+            }
+        }
         auto need_value = [&](const char *flag) -> std::string {
+            if (has_inline) {
+                has_inline = false;
+                return inline_value;
+            }
             if (i + 1 >= argc)
                 fatal("missing value for {}", flag);
             return argv[++i];
@@ -75,6 +103,8 @@ main(int argc, char **argv)
             filter = need_value("--filter");
         } else if (arg == "--trace-cmds") {
             trace_path = need_value("--trace-cmds");
+        } else if (arg == "--trace-out") {
+            chrome_path = need_value("--trace-out");
         } else if (arg == "--list") {
             list_only = true;
         } else if (arg == "--quiet") {
@@ -85,6 +115,8 @@ main(int argc, char **argv)
         } else {
             fatal("unknown argument '{}' (try --help)", arg);
         }
+        if (has_inline)
+            fatal("'{}' takes no value", arg);
     }
 
     std::ofstream trace_os;
@@ -110,7 +142,24 @@ main(int argc, char **argv)
                      << '\n';
         const DesignSpec &spec = designSpec(c.design);
         DramTiming t = ddr3_1600Timing(spec.charmColumnOpt);
-        FuzzReport rep = runProtocolFuzz(c, t, t, trace.get());
+        FuzzReport rep;
+        if (!chrome_path.empty()) {
+            // Chrome timeline of this (first matching) case only: the
+            // writer is per-geometry, so later cases fall back to the
+            // text trace alone.
+            std::ofstream chrome_os(chrome_path);
+            if (!chrome_os)
+                fatal("cannot open '{}' for writing", chrome_path);
+            ChromeTraceWriter chrome(chrome_os, c.geom, t);
+            CommandFanout fan;
+            fan.addSink(trace.get());
+            fan.addSink(&chrome);
+            rep = runProtocolFuzz(c, t, t, &fan);
+            chrome.finish();
+            chrome_path.clear();
+        } else {
+            rep = runProtocolFuzz(c, t, t, trace.get());
+        }
         ++ran;
         if (rep.ok()) {
             if (!quiet) {

@@ -31,11 +31,34 @@
  *                                          violation aborts the run)
  *     --trace-cmds <file>                  write every DRAM command the
  *                                          controller issues to <file>
+ *                                          as one text line per command
  *                                          (runs the point directly,
  *                                          like --stats)
+ *     --trace-out <file>                   write a Chrome trace_event
+ *                                          JSON timeline (one track per
+ *                                          bank, migration spans,
+ *                                          promotion instants) to
+ *                                          <file>; open it in
+ *                                          chrome://tracing or Perfetto
+ *     --stats-out <file>                   write the schema-versioned
+ *                                          stats JSONL dump (latency
+ *                                          histograms with p50/p99,
+ *                                          epoch series) to <file>;
+ *                                          feed it to dasdram_report
+ *     --epoch <N>                          epoch length of the stats
+ *                                          time-series in memory cycles
+ *                                          (default 0 = no series)
  *     --set key=value                      config override, repeatable:
  *         das.threshold, das.tcBytes, das.replacement, das.exclusive,
  *         layout.groupSize, layout.fastRatioDenom, sim.warmup
+ *
+ * Every value-taking option also accepts the --flag=value spelling.
+ *
+ * --trace-cmds and --trace-out are independent sinks over the same
+ * command stream: both may be given at once (the controller fans out
+ * to the text trace, the JSON timeline and the protocol checker).
+ * Like --stats, either one reruns the point directly with the same
+ * effective seed as the sweep point, so the exports match the summary.
  *
  * Runs go through the SweepRunner engine, so the effective trace seed
  * of a point is SweepRunner::pointSeed(--seed, workload, design) —
@@ -175,12 +198,31 @@ main(int argc, char **argv)
     unsigned jobs = 0;
     std::string json_path;
     std::string trace_path;
+    std::string trace_out;
+    std::string stats_out;
+    Cycle epoch = 0;
     bool protocol_check = true;
     Config overrides;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
+        // Accept --flag=value as well as --flag value. Split at the
+        // first '=' only, so --set=key=value keeps its key=value part.
+        std::string inline_value;
+        bool has_inline = false;
+        if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-') {
+            if (std::size_t eq = arg.find('=');
+                eq != std::string::npos) {
+                inline_value = arg.substr(eq + 1);
+                arg.erase(eq);
+                has_inline = true;
+            }
+        }
         auto need_value = [&](const char *flag) -> std::string {
+            if (has_inline) {
+                has_inline = false;
+                return inline_value;
+            }
             if (i + 1 >= argc)
                 fatal("missing value for {}", flag);
             return argv[++i];
@@ -208,6 +250,13 @@ main(int argc, char **argv)
             protocol_check = false;
         } else if (arg == "--trace-cmds") {
             trace_path = need_value("--trace-cmds");
+        } else if (arg == "--trace-out") {
+            trace_out = need_value("--trace-out");
+        } else if (arg == "--stats-out") {
+            stats_out = need_value("--stats-out");
+        } else if (arg == "--epoch") {
+            epoch = std::strtoull(need_value("--epoch").c_str(),
+                                  nullptr, 10);
         } else if (arg == "--baseline") {
             with_baseline = true;
         } else if (arg == "--stats") {
@@ -223,6 +272,8 @@ main(int argc, char **argv)
         } else {
             fatal("unknown argument '{}'", arg);
         }
+        if (has_inline)
+            fatal("'{}' takes no value", arg);
     }
 
     SimConfig cfg;
@@ -264,14 +315,20 @@ main(int argc, char **argv)
         printSummary(w, r, with_baseline || csv, cfg.geom);
     }
 
-    if (dump_stats || !trace_path.empty()) {
-        // Re-run with direct System access for the stats tree and/or
-        // the command trace, using the same effective seed as the
-        // sweep point above so the dump matches the summary.
+    if (dump_stats || !trace_path.empty() || !trace_out.empty() ||
+        !stats_out.empty()) {
+        // Re-run with direct System access for the stats tree, the
+        // command trace and/or the observability exports, using the
+        // same effective seed as the sweep point above so the dumps
+        // match the summary.
         SimConfig scfg = cfg;
         scfg.design = kind;
         scfg.seed = SweepRunner::pointSeed(cfg.seed, w.name, kind);
         scfg.numCores = static_cast<unsigned>(w.benchmarks.size());
+        scfg.obs.workloadName = w.name;
+        scfg.obs.statsOut = stats_out;
+        scfg.obs.traceOut = trace_out;
+        scfg.obs.epochMemCycles = epoch;
         std::vector<std::unique_ptr<SyntheticTrace>> traces;
         std::vector<TraceSource *> ptrs;
         for (unsigned i = 0; i < scfg.numCores; ++i) {
