@@ -116,6 +116,11 @@ EpochSeries::restart(Cycle now)
 void
 EpochSeries::flush(Cycle now)
 {
+    // Emit any still-pending complete epochs first: a fast-forwarding
+    // caller may land here with boundaries it never sampled, and the
+    // trailing partial epoch must not swallow whole epochs' worth of
+    // time. (Under unit-cycle advancement this is a no-op.)
+    maybeSample(now);
     const Cycle last_boundary = base_ + nextIndex_ * epochLength_;
     if (now <= last_boundary)
         return;

@@ -51,9 +51,24 @@ class EpochSeries
      * Emit every epoch whose end is <= @p now. Cheap no-op between
      * boundaries; call from the simulation loop. When several
      * boundaries elapse in one call (idle fast-forward), the first
-     * elapsed epoch receives the whole delta and the rest are zero.
+     * elapsed epoch receives the whole delta and the rest are zero —
+     * a cycle-skipping caller that wants exact per-epoch attribution
+     * must instead stop at every nextBoundaryCycle() whose span saw
+     * stat changes and sample there (what the event engine does).
      */
     void maybeSample(Cycle now);
+
+    /**
+     * Cycle at which the current epoch ends — the next boundary a
+     * cycle-skipping engine must not jump over without sampling.
+     * Tracks restart(): a warm-up reset landing mid-epoch realigns
+     * the grid, and the boundary reported here moves with it.
+     */
+    Cycle
+    nextBoundaryCycle() const
+    {
+        return base_ + (nextIndex_ + 1) * epochLength_;
+    }
 
     /**
      * Drop history and realign epoch 0 to start at @p now, re-reading
@@ -63,9 +78,11 @@ class EpochSeries
     void restart(Cycle now);
 
     /**
-     * Close the trailing partial epoch at @p now (end < the next
-     * boundary). Call once at end of simulation; a partial epoch is
-     * only emitted if time advanced past the last boundary.
+     * Close the trailing partial epoch at @p now. Any complete epochs
+     * still pending (a caller that fast-forwarded past boundaries
+     * without sampling) are emitted first, so the series always ends
+     * with at most one partial epoch. A partial epoch is only emitted
+     * if time advanced past the last boundary.
      */
     void flush(Cycle now);
 

@@ -88,6 +88,14 @@ class Bank
 
     Cycle actAllowedAt() const { return actAllowedAt_; }
     Cycle preAllowedAt() const { return preAllowedAt_; }
+
+    /** Earliest cycle the open row could be precharged (kCycleMax when
+     *  no row is open) — the bank-local PRE horizon. */
+    Cycle
+    prechargeReadyAt() const
+    {
+        return hasOpenRow_ ? preAllowedAt_ : kCycleMax;
+    }
     /// @}
 
     /// @name Command application

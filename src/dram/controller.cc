@@ -643,6 +643,56 @@ ChannelController::tick(Cycle now)
 }
 
 Cycle
+ChannelController::requestWakeCycle(const MemRequest &req, Cycle now) const
+{
+    const Rank &rank = ranks_[req.loc.rank];
+    const Bank &bank = rank.bank(req.loc.bank);
+
+    // Blocked by a migration reservation: nothing can issue for this
+    // request before the reservation ends. (reserved(now) implies
+    // reservedUntil() > now.)
+    if (bank.rowBlocked(now, req.loc.row))
+        return bank.reservedUntil();
+
+    Cycle t = now + 1;
+    if (!bank.hasOpenRow()) {
+        // ACT path. Refresh-due gating is covered by the refresh term
+        // of nextWakeCycle (nextRefreshAt precedes any due window).
+        t = std::max(t, bank.actAllowedAt());
+        t = std::max(t, rank.activateAllowedAt());
+        return t;
+    }
+    if (bank.openRow() != req.loc.row) {
+        // Conflict-PRE path. Pending hits to the open row may hold the
+        // PRE back further; those requests contribute their own (column)
+        // horizons, so this bound is merely early, never late.
+        return std::max(t, bank.preAllowedAt());
+    }
+
+    // Column path: bank CAS window, channel tCCD, tWTR (reads), and
+    // the data bus with any rank/direction switch penalty — the same
+    // constraints tryColumn checks, inverted into an earliest cycle.
+    t = std::max(t, bank.columnAllowedAt());
+    t = std::max(t, nextColAllowedAt_);
+    Cycle cas;
+    if (req.isWrite) {
+        cas = timing_->tCWL;
+    } else {
+        t = std::max(t, rank.readAllowedAt());
+        cas = timing_->array(bank.openRowClass()).tCL;
+    }
+    Cycle bus_ready = dataBusFreeAt_;
+    if (lastBusRank_ >= 0 &&
+        (static_cast<unsigned>(lastBusRank_) != req.loc.rank ||
+         lastBusWasWrite_ != req.isWrite)) {
+        bus_ready += timing_->tRTRS;
+    }
+    if (bus_ready > t + cas)
+        t = bus_ready - cas;
+    return t;
+}
+
+Cycle
 ChannelController::nextWakeCycle(Cycle now) const
 {
     Cycle next = kCycleMax;
@@ -650,13 +700,33 @@ ChannelController::nextWakeCycle(Cycle now) const
         next = std::min(next, completions_.top().at);
     for (const auto &m : activeMigrations_)
         next = std::min(next, m.first);
-    if (!readQueue_.empty() || !writeQueue_.empty() ||
-        !migrations_.empty()) {
+    // Migration jobs that have not started keep the controller on a
+    // per-cycle cadence: their gating (per-bank FIFO, deferral to
+    // queued demand, enqueuedAt stamping) is stateful in ways a cheap
+    // bound cannot capture, and jobs spend few cycles in this state.
+    if (!migrations_.empty())
         next = std::min(next, now + 1);
-    }
     if (cfg_.refreshEnabled) {
+        // nextRefreshAt() stays in the past for the whole drain window
+        // (until the REF issues), so a due refresh pins the horizon to
+        // now + 1 via the max() in the callers.
         for (const Rank &r : ranks_)
             next = std::min(next, r.nextRefreshAt());
+    }
+    for (const auto &r : readQueue_)
+        next = std::min(next, requestWakeCycle(*r, now));
+    for (const auto &r : writeQueue_)
+        next = std::min(next, requestWakeCycle(*r, now));
+    // Closed-page policy precharges idle open banks even with empty
+    // queues; without this term those PREs would be skipped over.
+    if (cfg_.page == PagePolicy::Closed) {
+        for (const Rank &rank : ranks_) {
+            for (unsigned bi = 0; bi < rank.numBanks(); ++bi) {
+                Cycle pre = rank.bank(bi).prechargeReadyAt();
+                if (pre != kCycleMax)
+                    next = std::min(next, std::max(now + 1, pre));
+            }
+        }
     }
     return next;
 }

@@ -140,6 +140,17 @@ class ChannelController
      * Earliest cycle at which tick() could do useful work, for
      * fast-forwarding an idle system. Returns kCycleMax when fully idle
      * with refresh disabled.
+     *
+     * This is the channel's event horizon: a lower bound on the next
+     * state change, computed from the same per-bank/per-rank allowed-at
+     * times the scheduler itself consults (tRCD/tRAS/tRP/tCCD, tRRD /
+     * tFAW / tWTR, refresh deadlines, bus occupancy, reservations).
+     * The bound may be early — waking the controller on a cycle where
+     * nothing issues is a no-op — but is never late: skipping every
+     * cycle below the horizon is indistinguishable from ticking them.
+     * Both the internal catch-up loop of DramSystem::tick and the
+     * event engine's outer loop rely on exactly that property, which
+     * the differential suite (ctest -L differential) enforces.
      */
     Cycle nextWakeCycle(Cycle now) const;
 
@@ -206,6 +217,13 @@ class ChannelController
     bool tryColumn(MemRequest &req, Cycle now);
     /** Try to issue ACT or PRE on behalf of @p req. */
     bool tryRowCommand(MemRequest &req, Cycle now);
+
+    /**
+     * Lower bound (> @p now) on the cycle at which @p req could issue
+     * its next command — column, ACT or conflict PRE — assuming no
+     * other command issues first (any such issue re-runs the horizon).
+     */
+    Cycle requestWakeCycle(const MemRequest &req, Cycle now) const;
 
     /** Fire callback and destroy @p req (ownership in @p owner). */
     void finish(std::unique_ptr<MemRequest> req, Cycle at,

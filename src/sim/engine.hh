@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Simulation engine selection. The tick engine advances one CPU cycle
+ * at a time and is the reference; the event engine skips directly to
+ * the next component horizon (ROB-head retire, DRAM command, pending
+ * DAS retry, scheduled event, epoch boundary) and is required to be
+ * bit-identical to the tick engine — same command stream, same cycle
+ * stamps, same statistics. The differential suite
+ * (tests/sim/test_engine_equivalence.cc, `ctest -L differential`)
+ * enforces that equivalence over the full fuzz design×corner matrix.
+ */
+
+#ifndef DASDRAM_SIM_ENGINE_HH
+#define DASDRAM_SIM_ENGINE_HH
+
+#include <string>
+
+namespace dasdram
+{
+
+/** Simulation engine driving the main loop. */
+enum class SimEngine
+{
+    Tick,  ///< one CPU cycle per iteration (reference semantics)
+    Event, ///< skip to the minimum component horizon (default)
+};
+
+const char *toString(SimEngine e);
+
+/** Parse "tick" or "event"; fatal() on anything else. */
+SimEngine parseEngine(const std::string &name);
+
+} // namespace dasdram
+
+#endif // DASDRAM_SIM_ENGINE_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <sstream>
 
 #include "common/log.hh"
 #include "common/random.hh"
@@ -107,8 +108,19 @@ runProtocolFuzz(const FuzzCase &c, const DramTiming &dut,
     const Cycle max_mem_cycles =
         100'000 + 500ull * std::max(1u, c.requests);
 
+    // Event engine bookkeeping. The harness walks every memory cycle in
+    // both engines so the injection RNG stream is identical; the event
+    // engine only elides the per-cycle DramSystem::tick calls below the
+    // controller horizon. Injections must observe the same controller
+    // clock as under the tick engine, so before any state-mutating call
+    // the DRAM is caught up to the current cycle — a pure clock advance,
+    // since the horizon contract guarantees the skipped span is idle.
+    const bool event = c.engine == SimEngine::Event;
+    Cycle next_wake_mem = 0; // 0 => the first iteration always ticks
+
     Cycle now_tick = 0;
     for (Cycle mem_cycle = 0; mem_cycle < max_mem_cycles; ++mem_cycle) {
+        bool injected = false;
         // Inject 0-2 demand requests per cycle while traffic remains.
         unsigned burst = static_cast<unsigned>(rng.nextBelow(3));
         for (unsigned i = 0; i < burst && rep.submitted < c.requests;
@@ -130,8 +142,11 @@ runProtocolFuzz(const FuzzCase &c, const DramTiming &dut,
             };
             if (!dram.canAccept(req->loc, req->isWrite))
                 break;
+            if (event)
+                dram.tick(now_tick); // catch up; no-op when current
             dram.submit(std::move(req), now_tick);
             ++rep.submitted;
+            injected = true;
         }
 
         // Inject migration/swap jobs against the same row region.
@@ -152,21 +167,33 @@ runProtocolFuzz(const FuzzCase &c, const DramTiming &dut,
             bool full_swap = rng.chance(0.7);
             ++pending_migrations;
             ++rep.migrationsStarted;
+            if (event)
+                dram.tick(now_tick); // catch up; no-op when current
             dram.startMigration(ch, ra, ba, row_a, row_b, full_swap,
                                 base, base + group_size,
                                 [&rep, &pending_migrations](Cycle) {
                                     ++rep.migrationsDone;
                                     --pending_migrations;
                                 });
+            injected = true;
         }
 
         now_tick += kMemTick;
-        dram.tick(now_tick);
-
-        if (rep.submitted >= c.requests &&
-            rep.completed >= rep.submitted && !dram.busy()) {
-            rep.drained = true;
-            break;
+        // The drain check only changes state on a real tick (or an
+        // injection, which forces one), so skipped cycles cannot be
+        // the first cycle it would have fired on.
+        if (!event || injected || mem_cycle + 1 >= next_wake_mem) {
+            dram.tick(now_tick);
+            if (event) {
+                Cycle w = dram.nextWakeTick(now_tick);
+                next_wake_mem =
+                    w == kCycleMax ? kCycleMax : w / kMemTick;
+            }
+            if (rep.submitted >= c.requests &&
+                rep.completed >= rep.submitted && !dram.busy()) {
+                rep.drained = true;
+                break;
+            }
         }
     }
 
@@ -174,6 +201,85 @@ runProtocolFuzz(const FuzzCase &c, const DramTiming &dut,
     rep.violations = checker.violationCount();
     rep.firstViolation = checker.firstViolation();
     return rep;
+}
+
+namespace
+{
+
+/** Record the first mismatching report field in @p detail. */
+template <typename T>
+void
+diffField(std::string &detail, const char *name, const T &a, const T &b)
+{
+    if (a == b || !detail.empty())
+        return;
+    detail = formatStr("report.{}: tick={} event={}", name, a, b);
+}
+
+/** First differing line between two command-trace dumps, if any. */
+void
+diffTraces(std::string &detail, const std::string &tick,
+           const std::string &event)
+{
+    if (tick == event || !detail.empty())
+        return;
+    std::istringstream ta(tick), tb(event);
+    std::string la, lb;
+    std::uint64_t line = 0;
+    while (true) {
+        ++line;
+        bool ha = static_cast<bool>(std::getline(ta, la));
+        bool hb = static_cast<bool>(std::getline(tb, lb));
+        if (!ha && !hb)
+            break;
+        if (ha != hb || la != lb) {
+            detail = formatStr("trace line {}: tick=\"{}\" event=\"{}\"",
+                               line, ha ? la : "<eof>",
+                               hb ? lb : "<eof>");
+            return;
+        }
+    }
+    detail = "traces differ (whitespace only?)";
+}
+
+} // namespace
+
+FuzzDifferential
+runFuzzDifferential(const FuzzCase &c)
+{
+    const DesignSpec &spec = designSpec(c.design);
+    const DramTiming t = ddr3_1600Timing(spec.charmColumnOpt);
+
+    auto run_one = [&](SimEngine engine, std::string &trace_text) {
+        FuzzCase one = c;
+        one.engine = engine;
+        std::ostringstream os;
+        CommandTrace trace(os);
+        FuzzReport rep = runProtocolFuzz(one, t, t, &trace);
+        trace_text = os.str();
+        return rep;
+    };
+
+    FuzzDifferential d;
+    std::string tick_trace, event_trace;
+    d.tick = run_one(SimEngine::Tick, tick_trace);
+    d.event = run_one(SimEngine::Event, event_trace);
+
+    diffField(d.detail, "commands", d.tick.commands, d.event.commands);
+    diffField(d.detail, "violations", d.tick.violations,
+              d.event.violations);
+    diffField(d.detail, "firstViolation", d.tick.firstViolation,
+              d.event.firstViolation);
+    diffField(d.detail, "submitted", d.tick.submitted, d.event.submitted);
+    diffField(d.detail, "completed", d.tick.completed, d.event.completed);
+    diffField(d.detail, "migrationsStarted", d.tick.migrationsStarted,
+              d.event.migrationsStarted);
+    diffField(d.detail, "migrationsDone", d.tick.migrationsDone,
+              d.event.migrationsDone);
+    diffField(d.detail, "drained", d.tick.drained, d.event.drained);
+    diffTraces(d.detail, tick_trace, event_trace);
+    d.identical = d.detail.empty();
+    return d;
 }
 
 std::vector<FuzzCase>

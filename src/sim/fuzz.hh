@@ -23,6 +23,7 @@
 #include "dram/controller.hh"
 #include "dram/geometry.hh"
 #include "dram/timing.hh"
+#include "sim/engine.hh"
 
 namespace dasdram
 {
@@ -45,6 +46,16 @@ struct FuzzCase
      *  top of the bank to hit address-space edges). */
     unsigned rowSpread = 96;
     std::uint64_t seed = 1;     ///< effective per-case seed
+
+    /**
+     * Harness engine. Tick walks every memory cycle; Event skips the
+     * DramSystem::tick calls of cycles below the controller horizon
+     * while drawing the injection RNG for every cycle, so the request
+     * and migration streams — and therefore the command stream — are
+     * identical to the tick engine's. The harness defaults to tick
+     * (it is the oracle side of the differential mode).
+     */
+    SimEngine engine = SimEngine::Tick;
 };
 
 /** Outcome of one fuzz case. */
@@ -81,6 +92,28 @@ FuzzReport runProtocolFuzz(const FuzzCase &c);
 FuzzReport runProtocolFuzz(const FuzzCase &c, const DramTiming &dut,
                            const DramTiming &reference,
                            CommandSink *extra_sink = nullptr);
+
+/** Outcome of running one fuzz case through both engines. */
+struct FuzzDifferential
+{
+    FuzzReport tick;  ///< reference (per-cycle) run
+    FuzzReport event; ///< horizon-skipping run
+    bool identical = false;
+    /** First difference, "" when identical: a mismatched report field
+     *  or the first diverging command-trace line. */
+    std::string detail;
+
+    bool ok() const { return identical && tick.ok() && event.ok(); }
+};
+
+/**
+ * Differential oracle: run @p c once per engine (same seed, same
+ * timing on controller and checker) and compare the reports and the
+ * complete command traces line by line. Any divergence — a command
+ * issued at a different cycle, a different completion count, a
+ * protocol violation in either run — is reported in `detail`.
+ */
+FuzzDifferential runFuzzDifferential(const FuzzCase &c);
 
 /**
  * The standard fuzz grid: designs (standard/sas/charm/das/das-fm/fs) ×

@@ -7,6 +7,26 @@
 namespace dasdram
 {
 
+const char *
+toString(SimEngine e)
+{
+    switch (e) {
+      case SimEngine::Tick: return "tick";
+      case SimEngine::Event: return "event";
+    }
+    return "?";
+}
+
+SimEngine
+parseEngine(const std::string &name)
+{
+    if (name == "tick")
+        return SimEngine::Tick;
+    if (name == "event")
+        return SimEngine::Event;
+    fatal("unknown engine '{}' (expected tick or event)", name);
+}
+
 double
 applySimScale(SimConfig &cfg)
 {

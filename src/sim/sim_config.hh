@@ -20,6 +20,7 @@
 #include "cpu/core.hh"
 #include "dram/controller.hh"
 #include "dram/geometry.hh"
+#include "sim/engine.hh"
 
 namespace dasdram
 {
@@ -72,6 +73,14 @@ struct SimConfig
     LayoutConfig layout{};
     DasConfig das{};
     DesignKind design = DesignKind::Das;
+
+    /**
+     * Main-loop engine. The event engine is the default: it is proven
+     * bit-identical to the tick engine by the differential suite, and
+     * the tick engine stays available (--engine=tick) as the reference
+     * oracle for that proof.
+     */
+    SimEngine engine = SimEngine::Event;
 
     /** Per-core instruction target (warm-up included). */
     InstCount instructionsPerCore = 10'000'000;

@@ -139,6 +139,26 @@ class System
     void handleCoreAccess(unsigned core, Addr addr, bool is_write,
                           std::function<void(Cycle)> done);
     void scheduleEvent(Cycle at, std::function<void()> fn);
+
+    /**
+     * Event engine: starting from the iteration scheduled at
+     * @p next_cpu_at (the state as of the just-finished iteration at
+     * now_), compute the minimum component horizon and skip every
+     * provably idle CPU cycle up to it — batching the skipped cycles
+     * into each core's counters and sampling the epoch series at every
+     * boundary crossed, so stats are bit-identical to ticking through.
+     * Returns the tick of the next iteration to execute (>= next_cpu_at).
+     */
+    Cycle fastForward(Cycle next_cpu_at);
+    /**
+     * Instructions @p core may retire inside a fast-forward span
+     * before the next threshold run() observes per iteration — the
+     * warm-up boundary or the completion target. The crossing
+     * iteration itself must execute for real, so core bursts stop
+     * short of it; a core already past the current threshold (it is
+     * not the min-progress core) is unconstrained.
+     */
+    InstCount retireCap(const Core &core) const;
     void startMiss(unsigned core, Addr line, bool is_write, Cycle at);
     void resetAfterWarmup();
     /** Re-point every channel at the active set of command sinks. */

@@ -153,6 +153,131 @@ TEST(EpochSeries, FlushAtBoundaryEmitsNothingExtra)
     EXPECT_EQ(s.epochs().size(), n);
 }
 
+namespace
+{
+
+/**
+ * Drives one EpochSeries through a fixed activity schedule: stats
+ * mutate only at "active" cycles, and the stretches between them are
+ * genuinely idle — the precondition for skipping them. @p unit
+ * samples after every cycle, as the tick engine does; otherwise the
+ * driver hops straight between active cycles, stopping only at the
+ * epoch boundaries in between, exactly as System::fastForward slices
+ * its skips. Both observation patterns must yield identical epochs.
+ */
+std::vector<EpochSeries::Epoch>
+runSchedule(bool unit, Cycle restart_at, Cycle end)
+{
+    Fixture f;
+    EpochSeries s(f.group, 100);
+    // Activity every 170 cycles (plus the restart cycle itself), so
+    // consecutive hops cross one or two 100-cycle epoch boundaries
+    // and land deep mid-epoch, one off a boundary, and on top of one.
+    auto active = [&](Cycle c) {
+        return c % 170 == 0 || c == restart_at;
+    };
+    auto mutate = [&](Cycle c) {
+        f.reads.inc(1 + c % 3);
+        if (c % 340 == 0)
+            f.lat.sample(static_cast<double>(c % 41));
+    };
+    auto step = [&](Cycle c) {
+        mutate(c);
+        if (c == restart_at) {
+            f.group.resetAll();
+            s.restart(c);
+        }
+    };
+    if (unit) {
+        for (Cycle c = 0; c < end; ++c) {
+            if (active(c))
+                step(c);
+            s.maybeSample(c + 1);
+        }
+    } else {
+        Cycle c = 0;
+        while (true) {
+            // Emit every boundary the hop crossed before acting at
+            // the landing cycle, as the slicing fast-forward does.
+            while (s.nextBoundaryCycle() <= c)
+                s.maybeSample(s.nextBoundaryCycle());
+            if (c >= end)
+                break;
+            step(c);
+            Cycle next = c + 1;
+            while (next < end && !active(next))
+                ++next;
+            c = next;
+        }
+    }
+    s.flush(end);
+    return s.epochs();
+}
+
+void
+expectSameSeries(const std::vector<EpochSeries::Epoch> &a,
+                 const std::vector<EpochSeries::Epoch> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].index, b[i].index) << "epoch " << i;
+        EXPECT_EQ(a[i].start, b[i].start) << "epoch " << i;
+        EXPECT_EQ(a[i].end, b[i].end) << "epoch " << i;
+        ASSERT_EQ(a[i].deltas.size(), b[i].deltas.size());
+        for (std::size_t j = 0; j < a[i].deltas.size(); ++j)
+            EXPECT_DOUBLE_EQ(a[i].deltas[j], b[i].deltas[j])
+                << "epoch " << i << " delta " << j;
+    }
+}
+
+} // namespace
+
+TEST(EpochSeries, SkipsCrossingBoundariesMatchUnitAdvancement)
+{
+    // No warm-up restart: a boundary-sampling skipper must reproduce
+    // the unit-advanced series exactly, including the trailing
+    // partial epoch from flush().
+    auto unit = runSchedule(/*unit=*/true, /*restart_at=*/kCycleMax,
+                            /*end=*/1517);
+    auto skip = runSchedule(/*unit=*/false, kCycleMax, 1517);
+    expectSameSeries(unit, skip);
+}
+
+TEST(EpochSeries, MidEpochRestartRealignsUnderCycleSkipping)
+{
+    // The warm-up reset lands mid-epoch (cycle 437 is deep inside
+    // [400, 500)); the realigned grid starts there, and skips that
+    // cross the post-restart boundaries must still match unit
+    // advancement epoch for epoch.
+    auto unit = runSchedule(/*unit=*/true, /*restart_at=*/437,
+                            /*end=*/1517);
+    auto skip = runSchedule(/*unit=*/false, 437, 1517);
+    ASSERT_FALSE(unit.empty());
+    EXPECT_EQ(unit[0].start, 437u); // grid realigned, not inherited
+    EXPECT_EQ(unit[0].end, 537u);
+    expectSameSeries(unit, skip);
+}
+
+TEST(EpochSeries, FlushAfterUnsampledSkipEmitsPendingThenPartial)
+{
+    // A caller that skipped past several boundaries without sampling
+    // must still end with whole epochs first and at most one partial:
+    // the delta collapses into the first pending epoch (the
+    // documented coarse-grained fallback), never into the partial.
+    Fixture f;
+    EpochSeries s(f.group, 100);
+    f.reads.inc(11);
+    s.flush(730); // 7 whole epochs pending, then [700, 730)
+    ASSERT_EQ(s.epochs().size(), 8u);
+    EXPECT_DOUBLE_EQ(s.epochs()[0].deltas[f.nameIndex(s, "sys.reads")],
+                     11.0);
+    for (std::size_t i = 1; i < 8; ++i)
+        EXPECT_DOUBLE_EQ(
+            s.epochs()[i].deltas[f.nameIndex(s, "sys.reads")], 0.0);
+    EXPECT_EQ(s.epochs()[7].start, 700u);
+    EXPECT_EQ(s.epochs()[7].end, 730u);
+}
+
 TEST(EpochSeriesDeath, ZeroEpochLengthPanics)
 {
     Fixture f;

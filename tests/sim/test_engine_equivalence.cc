@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Tick-vs-event differential suite: the event engine must be
+ * bit-identical to the per-cycle tick reference — same command stream
+ * with the same cycle stamps, byte-identical stats-JSONL export, and
+ * equal end-of-run metrics — across every design and the controller
+ * corners the protocol fuzzer exercises.
+ *
+ * The full matrix runs under `ctest -L differential`; a four-case
+ * subset rides in tier-1 (see tests/CMakeLists.txt).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/jsonl_diff.hh"
+#include "sim/sweep.hh"
+#include "sim/system.hh"
+
+using namespace dasdram;
+
+namespace
+{
+
+/** One matrix point: a design and a controller corner. */
+struct EqCase
+{
+    const char *corner;
+    DesignKind design;
+    void (*apply)(ControllerConfig &);
+};
+
+void cornerBase(ControllerConfig &) {}
+void cornerFcfs(ControllerConfig &c) { c.sched = SchedPolicy::Fcfs; }
+void cornerClosed(ControllerConfig &c) { c.page = PagePolicy::Closed; }
+
+void
+cornerTinyQueues(ControllerConfig &c)
+{
+    c.readQueueDepth = 4;
+    c.writeQueueDepth = 4;
+    c.writeHighWatermark = 3;
+    c.writeLowWatermark = 1;
+}
+
+void cornerNoRefresh(ControllerConfig &c) { c.refreshEnabled = false; }
+void cornerDefer0(ControllerConfig &c) { c.migrationMaxDefer = 0; }
+
+std::vector<EqCase>
+allCases()
+{
+    static const struct
+    {
+        const char *name;
+        void (*apply)(ControllerConfig &);
+    } corners[] = {
+        {"base", cornerBase},           {"fcfs", cornerFcfs},
+        {"closed", cornerClosed},       {"tiny_queues", cornerTinyQueues},
+        {"no_refresh", cornerNoRefresh}, {"defer0", cornerDefer0},
+    };
+    static const DesignKind designs[] = {
+        DesignKind::Standard, DesignKind::Sas,   DesignKind::Charm,
+        DesignKind::Das,      DesignKind::DasFm, DesignKind::Fs,
+    };
+    std::vector<EqCase> cases;
+    for (DesignKind d : designs)
+        for (const auto &c : corners)
+            cases.push_back(EqCase{c.name, d, c.apply});
+    return cases;
+}
+
+/** Shrunken profile so a 24k-instruction run still misses the LLC. */
+BenchmarkProfile
+tinyProfile()
+{
+    BenchmarkProfile p = specProfile("omnetpp");
+    p.footprintMiB = 64;
+    p.workingSetPages = 400;
+    p.phaseInstructions = 40'000;
+    return p;
+}
+
+struct EngineRun
+{
+    RunMetrics metrics;
+    std::string cmdTrace;   ///< checker-visible command stream, text
+    std::string statsJsonl; ///< full export incl. epochs + histograms
+    std::uint64_t checkerCommands = 0;
+};
+
+EngineRun
+runOne(const EqCase &c, SimEngine engine, unsigned num_cores)
+{
+    SimConfig cfg;
+    cfg.design = c.design;
+    cfg.engine = engine;
+    cfg.numCores = num_cores;
+    cfg.instructionsPerCore = 24'000;
+    cfg.warmupFraction = 0.25;
+    // Short epochs so fast-forward slices across many boundaries, and
+    // the warm-up restart lands mid-epoch.
+    cfg.obs.epochMemCycles = 4'000;
+    cfg.obs.workloadName = "eq";
+    cfg.seed = SweepRunner::pointSeed(
+        42, std::string("eq/") + c.corner, c.design);
+    c.apply(cfg.ctrl);
+
+    std::vector<std::unique_ptr<SyntheticTrace>> traces;
+    std::vector<TraceSource *> ptrs;
+    for (unsigned i = 0; i < num_cores; ++i) {
+        traces.push_back(std::make_unique<SyntheticTrace>(
+            tinyProfile(), cfg.seed * 1000003 + i * 7919 + 1,
+            cfg.geom.rowBytes, cfg.geom.lineBytes));
+        ptrs.push_back(traces.back().get());
+    }
+
+    System sys(cfg, ptrs);
+    std::ostringstream cmds;
+    sys.attachCommandTrace(cmds);
+
+    EngineRun r;
+    r.metrics = sys.run();
+    r.cmdTrace = cmds.str();
+    r.checkerCommands = sys.protocolChecker()->commandCount();
+    std::ostringstream stats;
+    sys.writeStatsJsonl(stats);
+    r.statsJsonl = stats.str();
+    return r;
+}
+
+/** First differing line, for a readable failure message. */
+std::string
+firstDiffLine(const std::string &a, const std::string &b)
+{
+    std::istringstream sa(a), sb(b);
+    std::string la, lb;
+    std::uint64_t n = 0;
+    while (true) {
+        ++n;
+        bool ha = static_cast<bool>(std::getline(sa, la));
+        bool hb = static_cast<bool>(std::getline(sb, lb));
+        if (!ha && !hb)
+            return "(no line difference)";
+        if (ha != hb || la != lb) {
+            return "line " + std::to_string(n) + ":\n  tick : " +
+                   (ha ? la : "<eof>") + "\n  event: " +
+                   (hb ? lb : "<eof>");
+        }
+    }
+}
+
+/** Structured zero-tolerance diff of two stats-JSONL dumps via the
+ *  jsonl_diff library, line by line. */
+std::size_t
+jsonlDiffCount(const std::string &a, const std::string &b)
+{
+    std::istringstream sa(a), sb(b);
+    std::string la, lb;
+    std::size_t diffs = 0;
+    std::uint64_t n = 0;
+    while (true) {
+        ++n;
+        bool ha = static_cast<bool>(std::getline(sa, la));
+        bool hb = static_cast<bool>(std::getline(sb, lb));
+        if (!ha || !hb) {
+            diffs += (ha != hb);
+            break;
+        }
+        JsonValue va, vb;
+        if (!parseJson(la, va) || !parseJson(lb, vb)) {
+            ADD_FAILURE() << "unparseable stats-JSONL line " << n;
+            return diffs + 1;
+        }
+        diffs += diffJsonValues("line" + std::to_string(n), va, vb,
+                                /*tolerance=*/0.0, nullptr);
+    }
+    return diffs;
+}
+
+void
+expectIdentical(const EngineRun &tick, const EngineRun &event)
+{
+    // The command stream is the strongest witness: every DRAM command
+    // at the exact same cycle, in the same order.
+    EXPECT_EQ(tick.checkerCommands, event.checkerCommands);
+    EXPECT_EQ(tick.cmdTrace, event.cmdTrace)
+        << firstDiffLine(tick.cmdTrace, event.cmdTrace);
+
+    // Stats export byte-identical (includes epochs and histograms)...
+    EXPECT_EQ(tick.statsJsonl, event.statsJsonl)
+        << firstDiffLine(tick.statsJsonl, event.statsJsonl);
+    // ...and structurally identical at tolerance 0 through the same
+    // comparison rules dasdram_compare uses.
+    EXPECT_EQ(jsonlDiffCount(tick.statsJsonl, event.statsJsonl), 0u);
+
+    // End-of-run metrics, field by field (doubles compared exactly:
+    // both engines must execute the same arithmetic).
+    const RunMetrics &a = tick.metrics, &b = event.metrics;
+    ASSERT_EQ(a.ipc.size(), b.ipc.size());
+    for (std::size_t i = 0; i < a.ipc.size(); ++i)
+        EXPECT_EQ(a.ipc[i], b.ipc[i]) << "core " << i;
+    EXPECT_EQ(a.cpuCycles, b.cpuCycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.llcMisses, b.llcMisses);
+    EXPECT_EQ(a.memAccesses, b.memAccesses);
+    EXPECT_EQ(a.promotions, b.promotions);
+    EXPECT_EQ(a.footprintRows, b.footprintRows);
+    EXPECT_EQ(a.locations.rowBuffer, b.locations.rowBuffer);
+    EXPECT_EQ(a.locations.fastLevel, b.locations.fastLevel);
+    EXPECT_EQ(a.locations.slowLevel, b.locations.slowLevel);
+    EXPECT_EQ(a.energy.actsSlow, b.energy.actsSlow);
+    EXPECT_EQ(a.energy.actsFast, b.energy.actsFast);
+    EXPECT_EQ(a.energy.reads, b.energy.reads);
+    EXPECT_EQ(a.energy.writes, b.energy.writes);
+    EXPECT_EQ(a.energy.refreshes, b.energy.refreshes);
+    EXPECT_EQ(a.energy.swaps, b.energy.swaps);
+}
+
+class EngineEquivalence : public ::testing::TestWithParam<EqCase>
+{};
+
+const char *
+shortDesignName(DesignKind kind)
+{
+    switch (kind) {
+      case DesignKind::Standard: return "standard";
+      case DesignKind::Sas: return "sas";
+      case DesignKind::Charm: return "charm";
+      case DesignKind::Das: return "das";
+      case DesignKind::DasFm: return "das_fm";
+      case DesignKind::Fs: return "fs";
+    }
+    return "unknown";
+}
+
+std::string
+caseName(const ::testing::TestParamInfo<EqCase> &info)
+{
+    return std::string(shortDesignName(info.param.design)) + "__" +
+           info.param.corner;
+}
+
+} // namespace
+
+TEST_P(EngineEquivalence, TickAndEventEnginesAreBitIdentical)
+{
+    const EqCase &c = GetParam();
+    EngineRun tick = runOne(c, SimEngine::Tick, 1);
+    EngineRun event = runOne(c, SimEngine::Event, 1);
+    expectIdentical(tick, event);
+    // Sanity: the runs exercised the memory system at all.
+    EXPECT_GT(tick.checkerCommands, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, EngineEquivalence,
+                         ::testing::ValuesIn(allCases()), caseName);
+
+/** Multi-core: several ROBs and MSHR streams feeding the horizon. */
+TEST(EngineEquivalenceMultiCore, TwoCoreDasBaseIsBitIdentical)
+{
+    EqCase c{"base", DesignKind::Das, cornerBase};
+    EngineRun tick = runOne(c, SimEngine::Tick, 2);
+    EngineRun event = runOne(c, SimEngine::Event, 2);
+    expectIdentical(tick, event);
+}
+
+/** The event engine must also agree when no epoch series is attached
+ *  (the fast-forward path with no boundary slicing at all). */
+TEST(EngineEquivalenceNoEpochs, DasBaseIsBitIdenticalWithoutEpochs)
+{
+    EqCase c{"base", DesignKind::Das, cornerBase};
+    auto run = [&](SimEngine engine) {
+        SimConfig cfg;
+        cfg.design = c.design;
+        cfg.engine = engine;
+        cfg.instructionsPerCore = 24'000;
+        cfg.seed = 7;
+        SyntheticTrace trace(tinyProfile(), 8);
+        System sys(cfg, {&trace});
+        std::ostringstream cmds;
+        sys.attachCommandTrace(cmds);
+        RunMetrics m = sys.run();
+        return std::make_pair(m.cpuCycles, cmds.str());
+    };
+    auto tick = run(SimEngine::Tick);
+    auto event = run(SimEngine::Event);
+    EXPECT_EQ(tick.first, event.first);
+    EXPECT_EQ(tick.second, event.second)
+        << firstDiffLine(tick.second, event.second);
+}

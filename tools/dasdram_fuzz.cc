@@ -12,6 +12,8 @@
  *   dasdram_fuzz --filter das/tiny-queues
  *   dasdram_fuzz --trace-cmds cmds.txt --filter das/base
  *   dasdram_fuzz --trace-out t.json --filter das/migrate-heavy
+ *   dasdram_fuzz --engine event        # horizon-skipping harness
+ *   dasdram_fuzz --differential        # run tick AND event, diff them
  *
  * --trace-cmds appends every issued command of every matching case as
  * text; --trace-out writes a Chrome trace_event JSON timeline of the
@@ -49,6 +51,14 @@ usage(const char *argv0)
         "of the\n"
         "                    first matching case to FILE (use --filter "
         "to pick it)\n"
+        "  --engine E        harness engine: tick (walk every memory "
+        "cycle,\n"
+        "                    the default) or event (skip to controller "
+        "horizons)\n"
+        "  --differential    run every matching case through BOTH "
+        "engines and\n"
+        "                    fail on any divergence (reports, command "
+        "traces)\n"
         "  --list            print case names and per-case seeds, then "
         "exit\n"
         "  --quiet           only report failures and the final "
@@ -66,6 +76,8 @@ main(int argc, char **argv)
     std::string filter;
     std::string trace_path;
     std::string chrome_path;
+    SimEngine engine = SimEngine::Tick;
+    bool differential = false;
     bool list_only = false;
     bool quiet = false;
 
@@ -105,6 +117,10 @@ main(int argc, char **argv)
             trace_path = need_value("--trace-cmds");
         } else if (arg == "--trace-out") {
             chrome_path = need_value("--trace-out");
+        } else if (arg == "--engine") {
+            engine = parseEngine(need_value("--engine"));
+        } else if (arg == "--differential") {
+            differential = true;
         } else if (arg == "--list") {
             list_only = true;
         } else if (arg == "--quiet") {
@@ -129,12 +145,47 @@ main(int argc, char **argv)
     }
 
     unsigned ran = 0, failed = 0;
-    for (const FuzzCase &c : defaultFuzzCases(base_seed, requests)) {
+    for (FuzzCase &c : defaultFuzzCases(base_seed, requests)) {
         if (!filter.empty() && c.name.find(filter) == std::string::npos)
             continue;
         if (list_only) {
             std::printf("%-24s seed=%llu\n", c.name.c_str(),
                         static_cast<unsigned long long>(c.seed));
+            continue;
+        }
+        c.engine = engine;
+        if (differential) {
+            FuzzDifferential d = runFuzzDifferential(c);
+            ++ran;
+            if (d.ok()) {
+                if (!quiet) {
+                    std::printf("ok   %-24s seed=%llu commands=%llu "
+                                "(tick == event)\n",
+                                c.name.c_str(),
+                                static_cast<unsigned long long>(c.seed),
+                                static_cast<unsigned long long>(
+                                    d.tick.commands));
+                }
+                continue;
+            }
+            ++failed;
+            std::printf("FAIL %-24s seed=%llu%s\n", c.name.c_str(),
+                        static_cast<unsigned long long>(c.seed),
+                        d.identical ? " (both engines, same failure)"
+                                    : " (engines diverge)");
+            if (!d.detail.empty())
+                std::printf("     diff: %s\n", d.detail.c_str());
+            if (!d.tick.firstViolation.empty())
+                std::printf("     tick first violation: %s\n",
+                            d.tick.firstViolation.c_str());
+            if (!d.event.firstViolation.empty())
+                std::printf("     event first violation: %s\n",
+                            d.event.firstViolation.c_str());
+            std::printf("     replay: %s --seed %llu --requests %u "
+                        "--differential --filter '%s'\n",
+                        argv[0],
+                        static_cast<unsigned long long>(base_seed),
+                        requests, c.name.c_str());
             continue;
         }
         if (trace)
@@ -185,10 +236,10 @@ main(int argc, char **argv)
         if (!rep.firstViolation.empty())
             std::printf("     first: %s\n", rep.firstViolation.c_str());
         std::printf("     replay: %s --seed %llu --requests %u "
-                    "--filter '%s'\n",
+                    "--engine %s --filter '%s'\n",
                     argv[0],
                     static_cast<unsigned long long>(base_seed),
-                    requests, rep.name.c_str());
+                    requests, toString(engine), rep.name.c_str());
     }
 
     if (list_only)

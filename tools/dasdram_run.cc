@@ -25,6 +25,13 @@
  *                                          --baseline the baseline and
  *                                          the design run in parallel
  *     --seed <N>                           workload seed
+ *     --engine <tick|event>                simulation engine (default:
+ *                                          event). The event engine
+ *                                          skips provably idle cycles
+ *                                          and is bit-identical to the
+ *                                          tick reference (enforced by
+ *                                          ctest -L differential); use
+ *                                          --engine tick for the oracle
  *     --check / --no-check                 enable/disable the online
  *                                          DRAM protocol checker
  *                                          (default: enabled; a
@@ -202,6 +209,7 @@ main(int argc, char **argv)
     std::string stats_out;
     Cycle epoch = 0;
     bool protocol_check = true;
+    SimEngine engine = SimEngine::Event;
     Config overrides;
 
     for (int i = 1; i < argc; ++i) {
@@ -237,6 +245,8 @@ main(int argc, char **argv)
         } else if (arg == "--seed") {
             seed = std::strtoull(need_value("--seed").c_str(), nullptr,
                                  0);
+        } else if (arg == "--engine") {
+            engine = parseEngine(need_value("--engine"));
         } else if (arg == "--jobs") {
             jobs = static_cast<unsigned>(std::strtoul(
                 need_value("--jobs").c_str(), nullptr, 10));
@@ -279,6 +289,7 @@ main(int argc, char **argv)
     SimConfig cfg;
     cfg.instructionsPerCore = instructions;
     cfg.seed = seed;
+    cfg.engine = engine;
     cfg.protocolCheck = protocol_check;
     applySimScale(cfg);
     applyOverrides(cfg, overrides);
