@@ -9,14 +9,16 @@
 #define DASDRAM_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "common/cli.hh"
 #include "common/log.hh"
 #include "sim/experiment.hh"
 #include "sim/sweep.hh"
+#include "workload/spec_profiles.hh"
+#include "workload/synth_trace.hh"
 
 namespace dasdram
 {
@@ -61,69 +63,45 @@ struct BenchOptions
     bool histograms = true;
 };
 
-/** Parse --jobs N, --json FILE, --check/--no-check, --stats-dir DIR,
- *  --epoch N and --histograms/--no-histograms; fatal on unknown
- *  arguments. */
+/** Parse the shared bench options (--jobs/-j, --json, --check/
+ *  --no-check, --stats-dir, --epoch, --histograms/--no-histograms);
+ *  fatal on unknown arguments, prints generated usage on --help. */
 inline BenchOptions
 parseBenchArgs(int argc, char **argv)
 {
+    CliParser cli(argv[0] && argv[0][0] ? argv[0] : "bench",
+                  "figure sweep (shared bench harness options)");
+    cli.optionUInt("--jobs", "N",
+                   "worker threads (default: DAS_JOBS env, else "
+                   "hardware)", "-j")
+        .option("--json", "FILE", "export all sweep points as JSON lines")
+        .toggle("--check",
+                "online DRAM protocol checker (default on)")
+        .option("--stats-dir", "DIR",
+                "per-point stats-JSONL dumps (histograms, percentiles) "
+                "into DIR")
+        .optionUInt("--epoch", "N",
+                    "stats time-series epoch in memory cycles (0 = off)")
+        .toggle("--histograms",
+                "latency/occupancy histogram sampling (default on)");
+    cli.parse(argc, argv);
+
     BenchOptions opts;
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        auto need_value = [&](const char *flag) -> std::string {
-            if (i + 1 >= argc)
-                fatal("missing value for {}", flag);
-            return argv[++i];
-        };
-        if (arg == "--jobs" || arg == "-j") {
-            opts.jobs = static_cast<unsigned>(
-                std::strtoul(need_value("--jobs").c_str(), nullptr, 10));
-            if (opts.jobs == 0)
-                fatal("--jobs needs a positive integer");
-        } else if (arg == "--json") {
-            opts.jsonPath = need_value("--json");
-            // Fail on an unwritable path now, not after an hour-long
-            // sweep has already run.
-            std::ofstream probe(opts.jsonPath);
-            if (!probe)
-                fatal("cannot open '{}' for writing", opts.jsonPath);
-        } else if (arg == "--check") {
-            opts.protocolCheck = true;
-        } else if (arg == "--no-check") {
-            opts.protocolCheck = false;
-        } else if (arg == "--stats-dir") {
-            opts.statsDir = need_value("--stats-dir");
-        } else if (arg == "--epoch") {
-            opts.epochMemCycles = std::strtoull(
-                need_value("--epoch").c_str(), nullptr, 10);
-        } else if (arg == "--histograms") {
-            opts.histograms = true;
-        } else if (arg == "--no-histograms") {
-            opts.histograms = false;
-        } else if (arg == "--help" || arg == "-h") {
-            std::printf("usage: %s [--jobs N] [--json FILE] "
-                        "[--check|--no-check] [--stats-dir DIR] "
-                        "[--epoch N]\n"
-                        "  --jobs N       worker threads (default: "
-                        "DAS_JOBS env, else hardware)\n"
-                        "  --json FILE    export all sweep points as "
-                        "JSON lines\n"
-                        "  --check        online DRAM protocol checker "
-                        "(default on; --no-check disables)\n"
-                        "  --stats-dir D  per-point stats-JSONL dumps "
-                        "(histograms, percentiles) into D\n"
-                        "  --epoch N      stats time-series epoch in "
-                        "memory cycles (0 = off)\n"
-                        "  --histograms   latency/occupancy histogram "
-                        "sampling (default on;\n"
-                        "                 --no-histograms disables the "
-                        "sample path)\n",
-                        argv[0]);
-            std::exit(0);
-        } else {
-            fatal("unknown argument '{}' (try --help)", arg);
-        }
+    opts.jobs = static_cast<unsigned>(cli.uns("--jobs", 0));
+    if (cli.given("--jobs") && opts.jobs == 0)
+        fatal("--jobs needs a positive integer");
+    opts.jsonPath = cli.str("--json");
+    if (!opts.jsonPath.empty()) {
+        // Fail on an unwritable path now, not after an hour-long
+        // sweep has already run.
+        std::ofstream probe(opts.jsonPath);
+        if (!probe)
+            fatal("cannot open '{}' for writing", opts.jsonPath);
     }
+    opts.protocolCheck = cli.enabled("--check", opts.protocolCheck);
+    opts.statsDir = cli.str("--stats-dir");
+    opts.epochMemCycles = cli.uns("--epoch", 0);
+    opts.histograms = cli.enabled("--histograms", opts.histograms);
     return opts;
 }
 

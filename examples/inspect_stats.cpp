@@ -12,6 +12,8 @@
 #include <string>
 
 #include "sim/experiment.hh"
+#include "workload/spec_profiles.hh"
+#include "workload/synth_trace.hh"
 
 using namespace dasdram;
 

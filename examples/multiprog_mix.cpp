@@ -31,8 +31,8 @@ main(int argc, char **argv)
 
     WorkloadSpec w = WorkloadSpec::mix(mix_idx - 1);
     std::printf("Mix %s:", w.name.c_str());
-    for (const auto &b : w.benchmarks)
-        std::printf(" %s", b.c_str());
+    for (const auto &p : w.parts)
+        std::printf(" %s", p.label().c_str());
     std::printf("  (%llu instructions per core)\n\n",
                 static_cast<unsigned long long>(cfg.instructionsPerCore));
 

@@ -4,44 +4,36 @@
 #include <memory>
 
 #include "common/log.hh"
+#include "common/strfmt.hh"
 #include "core/static_profile.hh"
 #include "dram/address_mapping.hh"
+#include "workload/trace_file.hh"
 
 namespace dasdram
 {
 
-WorkloadSpec
-WorkloadSpec::single(const std::string &bench)
-{
-    return WorkloadSpec{bench, {bench}};
-}
-
-WorkloadSpec
-WorkloadSpec::mix(std::size_t i)
-{
-    const auto &mixes = specMixes();
-    if (i >= mixes.size())
-        fatal("mix index {} out of range", i);
-    return WorkloadSpec{mixName(i), mixes[i]};
-}
-
 RunMetrics
-runSimulation(const WorkloadSpec &workload, const SimConfig &cfg_in)
+runSimulation(const WorkloadSpec &workload, const SimConfig &cfg_in,
+              const std::string &record_prefix)
 {
     SimConfig cfg = cfg_in;
-    cfg.numCores = static_cast<unsigned>(workload.benchmarks.size());
+    cfg.numCores = workload.numCores();
     cfg.obs.workloadName = workload.name;
 
     // Deterministic per-(workload, core) traces.
-    std::vector<std::unique_ptr<SyntheticTrace>> traces;
+    auto traces = buildTraces(workload, cfg.seed, cfg.geom.rowBytes,
+                              cfg.geom.lineBytes);
+    std::vector<std::unique_ptr<TraceRecorder>> recorders;
     std::vector<TraceSource *> trace_ptrs;
     for (unsigned i = 0; i < cfg.numCores; ++i) {
-        const BenchmarkProfile &prof =
-            specProfile(workload.benchmarks[i]);
-        std::uint64_t seed = cfg.seed * 1000003 + i * 7919 + 1;
-        traces.push_back(std::make_unique<SyntheticTrace>(
-            prof, seed, cfg.geom.rowBytes, cfg.geom.lineBytes));
-        trace_ptrs.push_back(traces.back().get());
+        TraceSource *src = traces[i].get();
+        if (!record_prefix.empty()) {
+            recorders.push_back(std::make_unique<TraceRecorder>(
+                *src,
+                formatStr("{}.core{}.dastrace", record_prefix, i)));
+            src = recorders.back().get();
+        }
+        trace_ptrs.push_back(src);
     }
 
     System sys(cfg, trace_ptrs);
@@ -63,7 +55,10 @@ runSimulation(const WorkloadSpec &workload, const SimConfig &cfg_in)
         profiler.assign(sys.manager().table());
     }
 
-    return sys.run();
+    RunMetrics metrics = sys.run();
+    for (auto &rec : recorders)
+        rec->close();
+    return metrics;
 }
 
 double

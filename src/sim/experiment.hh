@@ -22,24 +22,10 @@
 #include <vector>
 
 #include "sim/system.hh"
-#include "workload/spec_profiles.hh"
-#include "workload/synth_trace.hh"
+#include "workload/workload_spec.hh"
 
 namespace dasdram
 {
-
-/** A workload: one benchmark per core. */
-struct WorkloadSpec
-{
-    std::string name;                    ///< display ("mcf", "M3", ...)
-    std::vector<std::string> benchmarks; ///< per-core SPEC profile names
-
-    /** Single-program workload on one core. */
-    static WorkloadSpec single(const std::string &bench);
-
-    /** Multi-programming mix Mi (0-based index into Table 2). */
-    static WorkloadSpec mix(std::size_t i);
-};
 
 /** One (workload, design) data point. */
 struct ExperimentResult
@@ -68,9 +54,15 @@ struct ExperimentResult
  * pure function of its arguments — the foundation of the sweep
  * engine's determinism guarantee — and is safe to call from many
  * threads at once (each call owns its System).
+ *
+ * With a non-empty @p record_prefix every core's delivered trace is
+ * captured to `<prefix>.core<i>.dastrace` (binary format) for later
+ * `file:` replay; the static-design profiling pre-pass is excluded
+ * from the capture, so replaying reproduces the measured run exactly.
  */
 RunMetrics runSimulation(const WorkloadSpec &workload,
-                         const SimConfig &cfg);
+                         const SimConfig &cfg,
+                         const std::string &record_prefix = "");
 
 /** mean_i(IPC_i / baselineIPC_i) - 1 (zero-IPC baselines count as 1). */
 double weightedSpeedupImprovement(const RunMetrics &metrics,

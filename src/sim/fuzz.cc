@@ -11,6 +11,7 @@
 #include "dram/row_class.hh"
 #include "mem/clock.hh"
 #include "sim/sweep.hh"
+#include "workload/workload_spec.hh"
 
 namespace dasdram
 {
@@ -92,6 +93,28 @@ runProtocolFuzz(const FuzzCase &c, const DramTiming &dut,
 
     Rng rng(c.seed);
     const std::uint64_t columns = c.geom.rowBytes / c.geom.lineBytes;
+
+    // Trace-driven addressing: round-robin the workload's per-core
+    // streams, folding each address into this case's geometry. Both
+    // engines consume the streams identically (like the RNG), so the
+    // differential guarantee is unaffected.
+    std::vector<std::unique_ptr<TraceSource>> wl_traces;
+    unsigned wl_next = 0;
+    if (!c.workload.empty()) {
+        WorkloadSpec w = WorkloadSpec::parse(c.workload);
+        wl_traces = buildTraces(w, c.seed, c.geom.rowBytes,
+                                c.geom.lineBytes);
+    }
+    auto next_wl_entry = [&](TraceEntry &e) {
+        TraceSource &src = *wl_traces[wl_next];
+        wl_next = static_cast<unsigned>((wl_next + 1) % wl_traces.size());
+        if (!src.next(e)) {
+            src.reset(); // non-looping file exhausted: start over
+            if (!src.next(e))
+                fatal("workload '{}' delivers no trace records",
+                      c.workload);
+        }
+    };
     const unsigned fast_slots = layout.fastSlotsPerGroup();
     const unsigned group_size = layout.groupSize();
     // Limit migration injection to groups the demand traffic also
@@ -127,16 +150,26 @@ runProtocolFuzz(const FuzzCase &c, const DramTiming &dut,
              ++i) {
             auto req = std::make_unique<MemRequest>();
             req->id = next_req_id++;
-            req->isWrite = rng.chance(c.writeFraction);
-            req->loc.channel = static_cast<unsigned>(
-                rng.nextBelow(c.geom.channels));
-            req->loc.rank = static_cast<unsigned>(
-                rng.nextBelow(c.geom.ranksPerChannel));
-            req->loc.bank = static_cast<unsigned>(
-                rng.nextBelow(c.geom.banksPerRank));
-            req->loc.row = pickRow(rng, c);
-            req->loc.column = rng.nextBelow(columns);
-            req->addr = dram.mapper().encode(req->loc);
+            if (!wl_traces.empty()) {
+                TraceEntry e{};
+                next_wl_entry(e);
+                req->isWrite = e.isWrite;
+                Addr line = e.addr % c.geom.capacityBytes();
+                line -= line % c.geom.lineBytes;
+                req->loc = dram.mapper().decode(line);
+                req->addr = dram.mapper().encode(req->loc);
+            } else {
+                req->isWrite = rng.chance(c.writeFraction);
+                req->loc.channel = static_cast<unsigned>(
+                    rng.nextBelow(c.geom.channels));
+                req->loc.rank = static_cast<unsigned>(
+                    rng.nextBelow(c.geom.ranksPerChannel));
+                req->loc.bank = static_cast<unsigned>(
+                    rng.nextBelow(c.geom.banksPerRank));
+                req->loc.row = pickRow(rng, c);
+                req->loc.column = rng.nextBelow(columns);
+                req->addr = dram.mapper().encode(req->loc);
+            }
             req->onComplete = [&rep](MemRequest &, Cycle) {
                 ++rep.completed;
             };

@@ -40,6 +40,17 @@ struct FuzzCase
 
     unsigned requests = 2000;   ///< demand requests to complete
     double writeFraction = 0.3;
+
+    /**
+     * Optional workload spec (workload/workload_spec.hh grammar).
+     * When non-empty, request addresses and read/write kinds come from
+     * the workload's trace stream (round-robin over its parts, mapped
+     * into this case's geometry) instead of the synthetic row picker —
+     * fuzzing the protocol under realistic access patterns, including
+     * external `file:` traces. The RNG still paces bursts and
+     * migrations, so tick/event determinism is unchanged.
+     */
+    std::string workload;
     /** Per-memory-cycle chance to enqueue a migration/swap job. */
     double migrationChance = 0.0;
     /** Rows per bank the traffic concentrates on (plus a slice at the

@@ -65,6 +65,14 @@ struct ObservabilityConfig
 /** Everything needed to build one System. */
 struct SimConfig
 {
+    /**
+     * Workload spec string (workload/workload_spec.hh grammar). The
+     * experiment layer and the System(const SimConfig &) constructor
+     * parse it and derive numCores from the part count; callers that
+     * pass explicit traces may leave it untouched.
+     */
+    std::string workload = "mcf";
+
     unsigned numCores = 1;
     CoreConfig core{};
     HierarchyConfig caches{};
@@ -135,6 +143,17 @@ struct SimConfig
  * fidelity for speed. Returns the factor applied.
  */
 double applySimScale(SimConfig &cfg);
+
+/** Serialise @p cfg to compact JSON (configFromJson reads it back). */
+std::string configToJson(const SimConfig &cfg);
+
+/**
+ * Parse a configuration from JSON text produced by configToJson (or
+ * hand-written with the same keys). Keys are optional — missing ones
+ * keep the default in @p base — but unknown keys are fatal, so typos
+ * never silently run the default. Returns the merged configuration.
+ */
+SimConfig configFromJson(const std::string &text, SimConfig base = {});
 
 } // namespace dasdram
 

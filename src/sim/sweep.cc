@@ -59,8 +59,8 @@ SweepRunner::SweepRunner(SimConfig base, unsigned jobs)
 std::size_t
 SweepRunner::add(SweepPoint point)
 {
-    if (point.workload.benchmarks.empty())
-        fatal("sweep point '{}' has no benchmarks",
+    if (point.workload.parts.empty())
+        fatal("sweep point '{}' has no workload parts",
               point.workload.name);
     points_.push_back(std::move(point));
     return points_.size() - 1;

@@ -88,6 +88,21 @@ class System
      *        are offset by cfg.coreBase(i).
      */
     System(const SimConfig &cfg, std::vector<TraceSource *> traces);
+
+    /**
+     * Owning variant: the system keeps @p traces alive for its own
+     * lifetime (one per core).
+     */
+    System(const SimConfig &cfg,
+           std::vector<std::unique_ptr<TraceSource>> traces);
+
+    /**
+     * Build the workload from cfg.workload (the workload-spec grammar):
+     * parses the spec, builds one trace per part and owns them.
+     * numCores is taken from the spec, not cfg.numCores.
+     */
+    explicit System(const SimConfig &cfg);
+
     ~System();
 
     System(const System &) = delete;
@@ -165,6 +180,7 @@ class System
     void rebuildCommandSinks();
 
     SimConfig cfg_;
+    std::vector<std::unique_ptr<TraceSource>> ownedTraces_;
     std::vector<TraceSource *> traces_;
 
     std::unique_ptr<RowClassifier> classifier_;

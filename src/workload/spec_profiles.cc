@@ -76,13 +76,21 @@ profiles()
 
 } // namespace
 
-const BenchmarkProfile &
-specProfile(const std::string &name)
+const BenchmarkProfile *
+findSpecProfile(const std::string &name)
 {
     for (const BenchmarkProfile &p : profiles()) {
         if (p.name == name)
-            return p;
+            return &p;
     }
+    return nullptr;
+}
+
+const BenchmarkProfile &
+specProfile(const std::string &name)
+{
+    if (const BenchmarkProfile *p = findSpecProfile(name))
+        return *p;
     fatal("unknown SPEC benchmark profile '{}'", name);
 }
 

@@ -112,6 +112,9 @@ struct BenchmarkProfile
 /** Look up a profile by SPEC benchmark name. Fatal if unknown. */
 const BenchmarkProfile &specProfile(const std::string &name);
 
+/** Non-fatal lookup: nullptr when @p name is not a known profile. */
+const BenchmarkProfile *findSpecProfile(const std::string &name);
+
 /** All ten single-programming workloads (Table 2 order). */
 const std::vector<std::string> &specBenchmarks();
 

@@ -1,0 +1,452 @@
+#include "trace_file.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/log.hh"
+
+#ifdef DASDRAM_HAVE_ZLIB
+#include <zlib.h>
+#endif
+
+#include <unistd.h> // ftruncate
+
+namespace dasdram
+{
+
+bool
+traceGzipSupported()
+{
+#ifdef DASDRAM_HAVE_ZLIB
+    return true;
+#else
+    return false;
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// TraceByteReader
+
+TraceByteReader::TraceByteReader(std::string path,
+                                 std::size_t buffer_bytes)
+    : path_(std::move(path)),
+      cap_(buffer_bytes < 4096 ? 4096 : buffer_bytes)
+{
+    buf_.resize(cap_);
+    open();
+}
+
+TraceByteReader::~TraceByteReader()
+{
+    close();
+}
+
+void
+TraceByteReader::open()
+{
+    file_ = std::fopen(path_.c_str(), "rb");
+    if (!file_)
+        fatal("cannot open trace '{}': {}", path_,
+              std::strerror(errno));
+
+    // Sniff the gzip magic from the leading bytes, not the filename.
+    unsigned char magic[2] = {0, 0};
+    std::size_t got = std::fread(magic, 1, 2, file_);
+    compressed_ = got == 2 && magic[0] == 0x1f && magic[1] == 0x8b;
+    if (compressed_) {
+        std::fclose(file_);
+        file_ = nullptr;
+#ifdef DASDRAM_HAVE_ZLIB
+        gzFile gz = gzopen(path_.c_str(), "rb");
+        if (!gz)
+            fatal("cannot open gzip trace '{}'", path_);
+        gzbuffer(gz, static_cast<unsigned>(cap_));
+        gz_ = gz;
+#else
+        fatal("trace '{}' is gzip-compressed but this build has no "
+              "zlib; decompress it first (gunzip)",
+              path_);
+#endif
+    } else {
+        std::rewind(file_);
+    }
+}
+
+void
+TraceByteReader::close()
+{
+    if (file_) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+#ifdef DASDRAM_HAVE_ZLIB
+    if (gz_) {
+        gzclose(static_cast<gzFile>(gz_));
+        gz_ = nullptr;
+    }
+#endif
+}
+
+void
+TraceByteReader::fill()
+{
+    if (eof_ || pos_ < size_)
+        return;
+    pos_ = 0;
+    size_ = 0;
+#ifdef DASDRAM_HAVE_ZLIB
+    if (gz_) {
+        int n = gzread(static_cast<gzFile>(gz_), buf_.data(),
+                       static_cast<unsigned>(cap_));
+        if (n < 0) {
+            int errnum = 0;
+            const char *msg =
+                gzerror(static_cast<gzFile>(gz_), &errnum);
+            fatal("gzip read error in '{}': {}", path_,
+                  msg ? msg : "unknown");
+        }
+        size_ = static_cast<std::size_t>(n);
+        eof_ = size_ == 0;
+        return;
+    }
+#endif
+    size_ = std::fread(buf_.data(), 1, cap_, file_);
+    if (size_ < cap_ && std::ferror(file_))
+        fatal("read error in '{}': {}", path_, std::strerror(errno));
+    eof_ = size_ == 0;
+}
+
+std::size_t
+TraceByteReader::read(void *dst, std::size_t n)
+{
+    auto *out = static_cast<unsigned char *>(dst);
+    std::size_t total = 0;
+    while (total < n) {
+        if (pos_ >= size_) {
+            fill();
+            if (pos_ >= size_)
+                break; // end of stream
+        }
+        std::size_t chunk = std::min(n - total, size_ - pos_);
+        std::memcpy(out + total, buf_.data() + pos_, chunk);
+        pos_ += chunk;
+        total += chunk;
+    }
+    return total;
+}
+
+bool
+TraceByteReader::readExact(void *dst, std::size_t n, const char *what)
+{
+    std::size_t got = read(dst, n);
+    if (got == 0)
+        return false;
+    if (got != n)
+        fatal("{}: truncated file — {} ends after {} of {} byte(s)",
+              path_, what, got, n);
+    return true;
+}
+
+bool
+TraceByteReader::readLine(std::string &out)
+{
+    out.clear();
+    while (true) {
+        if (pos_ >= size_) {
+            fill();
+            if (pos_ >= size_) {
+                if (out.empty())
+                    return false;
+                ++line_; // final line without trailing newline
+                return true;
+            }
+        }
+        const unsigned char *start = buf_.data() + pos_;
+        const auto *nl = static_cast<const unsigned char *>(
+            std::memchr(start, '\n', size_ - pos_));
+        std::size_t take =
+            nl ? static_cast<std::size_t>(nl - start) : size_ - pos_;
+        if (out.size() + take > cap_)
+            fatal("{}:{}: line longer than {} bytes — not a text "
+                  "trace?",
+                  path_, line_ + 1, cap_);
+        out.append(reinterpret_cast<const char *>(start), take);
+        pos_ += take;
+        if (nl) {
+            ++pos_; // consume the newline
+            if (!out.empty() && out.back() == '\r')
+                out.pop_back();
+            ++line_;
+            return true;
+        }
+    }
+}
+
+void
+TraceByteReader::rewind()
+{
+    pos_ = 0;
+    size_ = 0;
+    eof_ = false;
+    line_ = 0;
+#ifdef DASDRAM_HAVE_ZLIB
+    if (gz_) {
+        if (gzrewind(static_cast<gzFile>(gz_)) != 0)
+            fatal("cannot rewind gzip trace '{}'", path_);
+        return;
+    }
+#endif
+    if (std::fseek(file_, 0, SEEK_SET) != 0)
+        fatal("cannot rewind trace '{}': {}", path_,
+              std::strerror(errno));
+}
+
+// ---------------------------------------------------------------------------
+// FileTraceSource
+
+FileTraceSource::FileTraceSource(std::string path)
+    : FileTraceSource(std::move(path), Options{})
+{
+}
+
+FileTraceSource::FileTraceSource(std::string path, Options opt)
+    : reader_(std::move(path), opt.bufferBytes), opt_(opt),
+      format_(opt.format)
+{
+    if (opt_.shardCount == 0)
+        fatal("trace '{}': shard count must be >= 1", reader_.path());
+    if (opt_.shard >= opt_.shardCount)
+        fatal("trace '{}': shard {} out of range (of {})",
+              reader_.path(), opt_.shard, opt_.shardCount);
+    if (format_ == TraceFormat::Auto)
+        format_ = formatFromPath(reader_.path());
+
+    // Content beats filename: a binary magic in the first bytes makes
+    // the file binary whatever it is called, and a text file declared
+    // binary fails the header check loudly below.
+    unsigned char head[4];
+    std::size_t got = reader_.read(head, 4);
+    reader_.rewind();
+    if (got == 4) {
+        std::uint32_t magic = static_cast<std::uint32_t>(head[0]) |
+                              static_cast<std::uint32_t>(head[1]) << 8 |
+                              static_cast<std::uint32_t>(head[2]) << 16 |
+                              static_cast<std::uint32_t>(head[3]) << 24;
+        if (magic == kBinaryTraceMagic)
+            format_ = TraceFormat::Binary;
+    }
+
+    if (format_ == TraceFormat::Binary)
+        readHeader();
+}
+
+void
+FileTraceSource::readHeader()
+{
+    unsigned char raw[kBinaryHeaderBytes];
+    if (!reader_.readExact(raw, kBinaryHeaderBytes, "the header"))
+        fatal("{}: empty file (no binary-trace header)",
+              reader_.path());
+    std::string err;
+    if (!decodeBinaryHeader(raw, header_, err))
+        fatal("{}: {}", reader_.path(), err);
+}
+
+bool
+FileTraceSource::refillParsed()
+{
+    // Advance over blank/comment lines until one yields records.
+    while (reader_.readLine(line_)) {
+        std::string err;
+        bool ok = format_ == TraceFormat::Ramulator
+                      ? parseRamulatorLine(line_, parsed_, err)
+                      : parseDramsim3Line(line_, ds3_, parsed_, err);
+        if (!ok)
+            fatal("{}:{}: {}", reader_.path(), reader_.lineNumber(),
+                  err);
+        if (parsed_.count > 0) {
+            parsedPos_ = 0;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+FileTraceSource::nextRaw(TraceEntry &out)
+{
+    if (format_ == TraceFormat::Binary) {
+        unsigned char raw[kBinaryRecordBytes];
+        if (!reader_.readExact(raw, kBinaryRecordBytes, "a record")) {
+            if (header_.records != kBinaryCountUnknown &&
+                binaryRead_ != header_.records) {
+                fatal("{}: truncated file — header promises {} "
+                      "record(s), found {}",
+                      reader_.path(), header_.records, binaryRead_);
+            }
+            return false;
+        }
+        decodeBinaryRecord(raw, out);
+        ++binaryRead_;
+        return true;
+    }
+    if (parsedPos_ >= parsed_.count && !refillParsed())
+        return false;
+    out = parsed_.entry[parsedPos_++];
+    return true;
+}
+
+bool
+FileTraceSource::next(TraceEntry &out)
+{
+    if (done_)
+        return false;
+    std::uint64_t start_index = recordIndex_;
+    while (true) {
+        TraceEntry e;
+        if (!nextRaw(e)) {
+            // End of one pass over the file.
+            if (!opt_.loop || recordIndex_ == 0) {
+                // Not looping — or an empty file, where looping would
+                // spin forever.
+                done_ = true;
+                return false;
+            }
+            ++passes_;
+            reader_.rewind();
+            parsed_ = ParsedLine{};
+            parsedPos_ = 0;
+            ds3_ = Dramsim3Cursor{};
+            binaryRead_ = 0;
+            recordIndex_ = 0;
+            if (format_ == TraceFormat::Binary)
+                readHeader();
+            // A pass that never reaches this shard must not loop
+            // forever either (fewer records than shards).
+            if (start_index == 0 && delivered_ == 0 && passes_ > 1) {
+                done_ = true;
+                return false;
+            }
+            continue;
+        }
+        std::uint64_t idx = recordIndex_++;
+        if (idx % opt_.shardCount == opt_.shard) {
+            out = e;
+            ++delivered_;
+            return true;
+        }
+    }
+}
+
+void
+FileTraceSource::reset()
+{
+    reader_.rewind();
+    parsed_ = ParsedLine{};
+    parsedPos_ = 0;
+    ds3_ = Dramsim3Cursor{};
+    binaryRead_ = 0;
+    recordIndex_ = 0;
+    delivered_ = 0;
+    passes_ = 0;
+    done_ = false;
+    if (format_ == TraceFormat::Binary)
+        readHeader();
+}
+
+// ---------------------------------------------------------------------------
+// BinaryTraceWriter
+
+BinaryTraceWriter::BinaryTraceWriter(std::string path)
+    : path_(std::move(path))
+{
+    file_ = std::fopen(path_.c_str(), "wb");
+    if (!file_)
+        fatal("cannot open '{}' for writing: {}", path_,
+              std::strerror(errno));
+    unsigned char raw[kBinaryHeaderBytes];
+    encodeBinaryHeader(BinaryTraceHeader{}, raw); // count = unknown
+    if (std::fwrite(raw, 1, kBinaryHeaderBytes, file_) !=
+        kBinaryHeaderBytes)
+        fatal("write error on '{}': {}", path_, std::strerror(errno));
+}
+
+BinaryTraceWriter::~BinaryTraceWriter()
+{
+    close();
+}
+
+void
+BinaryTraceWriter::write(const TraceEntry &e)
+{
+    if (!file_)
+        panic("BinaryTraceWriter::write after close ('{}')", path_);
+    unsigned char raw[kBinaryRecordBytes];
+    encodeBinaryRecord(e, raw);
+    if (std::fwrite(raw, 1, kBinaryRecordBytes, file_) !=
+        kBinaryRecordBytes)
+        fatal("write error on '{}': {}", path_, std::strerror(errno));
+    ++records_;
+}
+
+void
+BinaryTraceWriter::restart()
+{
+    if (!file_)
+        panic("BinaryTraceWriter::restart after close ('{}')", path_);
+    if (std::fseek(file_, static_cast<long>(kBinaryHeaderBytes),
+                   SEEK_SET) != 0)
+        fatal("cannot restart '{}': {}", path_, std::strerror(errno));
+    records_ = 0;
+}
+
+void
+BinaryTraceWriter::close()
+{
+    if (!file_)
+        return;
+    // Truncate stale bytes beyond the last restart(), then patch the
+    // record count into the header.
+    std::fflush(file_);
+    auto size = static_cast<off_t>(kBinaryHeaderBytes +
+                                   records_ * kBinaryRecordBytes);
+    if (ftruncate(fileno(file_), size) != 0)
+        fatal("cannot truncate '{}': {}", path_, std::strerror(errno));
+    BinaryTraceHeader h;
+    h.records = records_;
+    unsigned char raw[kBinaryHeaderBytes];
+    encodeBinaryHeader(h, raw);
+    if (std::fseek(file_, 0, SEEK_SET) != 0 ||
+        std::fwrite(raw, 1, kBinaryHeaderBytes, file_) !=
+            kBinaryHeaderBytes)
+        fatal("cannot finalise '{}': {}", path_, std::strerror(errno));
+    if (std::fclose(file_) != 0)
+        fatal("close error on '{}': {}", path_, std::strerror(errno));
+    file_ = nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// TraceRecorder
+
+TraceRecorder::TraceRecorder(TraceSource &inner, std::string path)
+    : inner_(&inner), writer_(std::move(path))
+{
+}
+
+bool
+TraceRecorder::next(TraceEntry &out)
+{
+    if (!inner_->next(out))
+        return false;
+    writer_.write(out);
+    return true;
+}
+
+void
+TraceRecorder::reset()
+{
+    inner_->reset();
+    writer_.restart();
+}
+
+} // namespace dasdram

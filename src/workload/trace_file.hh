@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Streaming trace-file ingestion: a fixed-buffer byte reader (with
+ * transparent gzip decompression when the build found zlib), the
+ * FileTraceSource that feeds external traces to the core model in
+ * O(buffer) memory, the binary-trace writer, and the TraceRecorder
+ * that tees any TraceSource into the binary format for later replay.
+ *
+ * Design constraints (see ISSUE 5):
+ *  - no full-file preload: a trace with hundreds of millions of
+ *    records streams through one 256 KiB buffer;
+ *  - deterministic rewind: reset() replays byte-identically, so the
+ *    static-design profiling pass and fixed-instruction looping work
+ *    exactly as they do for synthetic generators;
+ *  - per-core sharding: N cores can round-robin one trace file, each
+ *    shard reading its own handle (shard i keeps records with
+ *    index % N == i);
+ *  - loud failure: malformed lines, truncated files and header
+ *    mismatches are fatal() with `path:line` context — a trace that
+ *    parses is a trace that ran.
+ */
+
+#ifndef DASDRAM_WORKLOAD_TRACE_FILE_HH
+#define DASDRAM_WORKLOAD_TRACE_FILE_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "cpu/trace.hh"
+#include "workload/trace_format.hh"
+
+namespace dasdram
+{
+
+/** True when this build can read .gz traces (zlib found at configure
+ *  time). Plain files always work. */
+bool traceGzipSupported();
+
+/**
+ * Fixed-buffer sequential reader over a (possibly gzip-compressed)
+ * file. Decompression is transparent: the gzip magic is sniffed from
+ * the leading bytes, not the filename. rewind() restarts the stream
+ * from byte 0 deterministically.
+ */
+class TraceByteReader
+{
+  public:
+    /** @param buffer_bytes I/O buffer size (the memory bound). */
+    explicit TraceByteReader(std::string path,
+                             std::size_t buffer_bytes = 256 * 1024);
+    ~TraceByteReader();
+
+    TraceByteReader(const TraceByteReader &) = delete;
+    TraceByteReader &operator=(const TraceByteReader &) = delete;
+
+    /**
+     * Read up to @p n bytes into @p dst; returns the count, 0 at end
+     * of stream. fatal() on I/O or decompression errors.
+     */
+    std::size_t read(void *dst, std::size_t n);
+
+    /**
+     * Read exactly @p n bytes. Returns false cleanly at end-of-stream
+     * (0 bytes available); fatal() when the stream ends mid-read —
+     * the truncation case, reported with @p what as context.
+     */
+    bool readExact(void *dst, std::size_t n, const char *what);
+
+    /**
+     * Next text line (without the '\n') into @p out. Returns false at
+     * end of stream. Lines longer than the buffer are malformed input
+     * (fatal) — trace lines are tens of bytes.
+     */
+    bool readLine(std::string &out);
+
+    /** Restart from byte 0. */
+    void rewind();
+
+    /** 1-based number of the line readLine() returned last. */
+    std::uint64_t lineNumber() const { return line_; }
+
+    const std::string &path() const { return path_; }
+
+    /** True iff the underlying file is gzip-compressed. */
+    bool compressed() const { return compressed_; }
+
+  private:
+    void open();
+    void close();
+    void fill();
+
+    std::string path_;
+    std::size_t cap_;
+    std::vector<unsigned char> buf_;
+    std::size_t pos_ = 0;  ///< next unread byte in buf_
+    std::size_t size_ = 0; ///< valid bytes in buf_
+    bool eof_ = false;
+    bool compressed_ = false;
+    std::uint64_t line_ = 0;
+
+    std::FILE *file_ = nullptr; ///< plain path
+    void *gz_ = nullptr;        ///< gzFile when compressed (zlib builds)
+};
+
+/**
+ * TraceSource streaming an external trace file.
+ *
+ * Looping: with `loop`, the source rewinds at end-of-file and streams
+ * forever — the right default for fixed-instruction simulations, which
+ * stop on the instruction budget, never on trace exhaustion. Without
+ * it, next() returns false at the end (after `shardCount` partial
+ * passes the shards expose the same records every pass).
+ */
+class FileTraceSource : public TraceSource
+{
+  public:
+    struct Options
+    {
+        TraceFormat format = TraceFormat::Auto;
+        bool loop = true;
+        unsigned shard = 0;      ///< this reader's shard index
+        unsigned shardCount = 1; ///< total round-robin shards
+        std::size_t bufferBytes = 256 * 1024;
+    };
+
+    explicit FileTraceSource(std::string path);
+    FileTraceSource(std::string path, Options opt);
+
+    bool next(TraceEntry &out) override;
+    void reset() override;
+
+    /** The resolved (post-sniffing) format. */
+    TraceFormat format() const { return format_; }
+
+    /** Records delivered to the consumer since construction/reset. */
+    std::uint64_t recordsDelivered() const { return delivered_; }
+
+    /** Complete passes over the file (loop mode). */
+    std::uint64_t passes() const { return passes_; }
+
+    const std::string &path() const { return reader_.path(); }
+
+  private:
+    void readHeader();
+    bool nextRaw(TraceEntry &out); ///< next record, ignoring sharding
+    bool refillParsed();
+
+    TraceByteReader reader_;
+    Options opt_;
+    TraceFormat format_;
+    BinaryTraceHeader header_{}; ///< Binary format only
+
+    ParsedLine parsed_{};   ///< text formats: records of the last line
+    unsigned parsedPos_ = 0;
+    Dramsim3Cursor ds3_{};
+    std::string line_;
+
+    std::uint64_t recordIndex_ = 0; ///< global index (sharding)
+    std::uint64_t binaryRead_ = 0;  ///< records read this pass (Binary)
+    std::uint64_t delivered_ = 0;
+    std::uint64_t passes_ = 0;
+    bool done_ = false;
+};
+
+/**
+ * Writer for the internal binary trace format. Records stream out
+ * through a fixed buffer; close() patches the header's record count
+ * and truncates stale bytes after a restart(). The destructor closes
+ * implicitly (but cannot report late I/O errors — call close() when
+ * the file matters).
+ */
+class BinaryTraceWriter
+{
+  public:
+    explicit BinaryTraceWriter(std::string path);
+    ~BinaryTraceWriter();
+
+    BinaryTraceWriter(const BinaryTraceWriter &) = delete;
+    BinaryTraceWriter &operator=(const BinaryTraceWriter &) = delete;
+
+    void write(const TraceEntry &e);
+
+    /** Drop everything written so far and start over (the recorder's
+     *  reset path: a profiling pre-pass must not duplicate records). */
+    void restart();
+
+    /** Flush, patch the record count, truncate, close. Idempotent. */
+    void close();
+
+    std::uint64_t records() const { return records_; }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    std::uint64_t records_ = 0;
+};
+
+/**
+ * Pass-through TraceSource that records every delivered record to a
+ * binary trace file. reset() resets the inner source AND restarts the
+ * recording, so only the records of the final pass (the measured run)
+ * land in the file — a profiling pre-pass is recorded and then wiped
+ * by its trailing reset().
+ */
+class TraceRecorder : public TraceSource
+{
+  public:
+    TraceRecorder(TraceSource &inner, std::string path);
+
+    bool next(TraceEntry &out) override;
+    void reset() override;
+
+    /** Finalise the file (see BinaryTraceWriter::close). */
+    void close() { writer_.close(); }
+
+    std::uint64_t recorded() const { return writer_.records(); }
+
+  private:
+    TraceSource *inner_;
+    BinaryTraceWriter writer_;
+};
+
+} // namespace dasdram
+
+#endif // DASDRAM_WORKLOAD_TRACE_FILE_HH

@@ -1,0 +1,279 @@
+#include "trace_format.hh"
+
+#include <cctype>
+
+#include "common/strfmt.hh"
+
+namespace dasdram
+{
+
+const char *
+toString(TraceFormat f)
+{
+    switch (f) {
+      case TraceFormat::Auto: return "auto";
+      case TraceFormat::Ramulator: return "ramulator";
+      case TraceFormat::Dramsim3: return "dramsim3";
+      case TraceFormat::Binary: return "binary";
+    }
+    return "?";
+}
+
+bool
+parseTraceFormat(const std::string &name, TraceFormat &out)
+{
+    if (name == "auto") {
+        out = TraceFormat::Auto;
+    } else if (name == "ramulator") {
+        out = TraceFormat::Ramulator;
+    } else if (name == "dramsim3") {
+        out = TraceFormat::Dramsim3;
+    } else if (name == "binary") {
+        out = TraceFormat::Binary;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+TraceFormat
+formatFromPath(const std::string &path)
+{
+    std::string p = path;
+    if (p.size() > 3 && p.compare(p.size() - 3, 3, ".gz") == 0)
+        p.erase(p.size() - 3);
+    auto ends_with = [&p](std::string_view suffix) {
+        return p.size() >= suffix.size() &&
+               p.compare(p.size() - suffix.size(), suffix.size(),
+                         suffix) == 0;
+    };
+    if (ends_with(".dastrace") || ends_with(".bin"))
+        return TraceFormat::Binary;
+    if (ends_with(".ds3") || ends_with(".dramsim"))
+        return TraceFormat::Dramsim3;
+    return TraceFormat::Ramulator;
+}
+
+namespace
+{
+
+/** Split @p line into whitespace-separated tokens, honouring `#`
+ *  comments. Returns the token count (capped at @p max). */
+unsigned
+tokenize(std::string_view line, std::string_view *tok, unsigned max,
+         bool &overflow)
+{
+    unsigned n = 0;
+    overflow = false;
+    std::size_t i = 0;
+    while (i < line.size()) {
+        while (i < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[i])))
+            ++i;
+        if (i >= line.size() || line[i] == '#')
+            break;
+        std::size_t start = i;
+        while (i < line.size() &&
+               !std::isspace(static_cast<unsigned char>(line[i])))
+            ++i;
+        if (n == max) {
+            overflow = true;
+            return n;
+        }
+        tok[n++] = line.substr(start, i - start);
+    }
+    return n;
+}
+
+/** Strict unsigned parse (decimal, or hex with 0x); whole token. */
+bool
+parseU64(std::string_view tok, std::uint64_t &out)
+{
+    if (tok.empty())
+        return false;
+    unsigned base = 10;
+    std::size_t i = 0;
+    if (tok.size() > 2 && tok[0] == '0' &&
+        (tok[1] == 'x' || tok[1] == 'X')) {
+        base = 16;
+        i = 2;
+    }
+    std::uint64_t v = 0;
+    for (; i < tok.size(); ++i) {
+        char c = tok[i];
+        unsigned digit;
+        if (c >= '0' && c <= '9') {
+            digit = static_cast<unsigned>(c - '0');
+        } else if (base == 16 && c >= 'a' && c <= 'f') {
+            digit = static_cast<unsigned>(c - 'a') + 10;
+        } else if (base == 16 && c >= 'A' && c <= 'F') {
+            digit = static_cast<unsigned>(c - 'A') + 10;
+        } else {
+            return false;
+        }
+        if (v > (~0ull - digit) / base)
+            return false; // overflow
+        v = v * base + digit;
+    }
+    out = v;
+    return true;
+}
+
+std::uint32_t
+saturate32(std::uint64_t v)
+{
+    return v > 0xffffffffull ? 0xffffffffu
+                             : static_cast<std::uint32_t>(v);
+}
+
+void
+putLe(unsigned char *dst, std::uint64_t v, unsigned bytes)
+{
+    for (unsigned i = 0; i < bytes; ++i)
+        dst[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+std::uint64_t
+getLe(const unsigned char *src, unsigned bytes)
+{
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < bytes; ++i)
+        v |= static_cast<std::uint64_t>(src[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+bool
+parseRamulatorLine(std::string_view line, ParsedLine &out,
+                   std::string &err)
+{
+    std::string_view tok[4];
+    bool overflow = false;
+    unsigned n = tokenize(line, tok, 4, overflow);
+    out.count = 0;
+    if (n == 0 && !overflow)
+        return true; // blank/comment
+    if (overflow || n > 3 || n < 2) {
+        err = formatStr("expected '<bubbles> <load-addr> "
+                        "[<store-addr>]', got {} column(s)",
+                        overflow ? 4u : n);
+        return false;
+    }
+    std::uint64_t bubbles = 0, load = 0, store = 0;
+    if (!parseU64(tok[0], bubbles)) {
+        err = formatStr("bad bubble count '{}'", std::string(tok[0]));
+        return false;
+    }
+    if (!parseU64(tok[1], load)) {
+        err = formatStr("bad load address '{}'", std::string(tok[1]));
+        return false;
+    }
+    out.entry[0] = TraceEntry{saturate32(bubbles), load, false};
+    out.count = 1;
+    if (n == 3) {
+        if (!parseU64(tok[2], store)) {
+            err = formatStr("bad store address '{}'",
+                            std::string(tok[2]));
+            return false;
+        }
+        out.entry[1] = TraceEntry{0, store, true};
+        out.count = 2;
+    }
+    return true;
+}
+
+bool
+parseDramsim3Line(std::string_view line, Dramsim3Cursor &cur,
+                  ParsedLine &out, std::string &err)
+{
+    std::string_view tok[4];
+    bool overflow = false;
+    unsigned n = tokenize(line, tok, 4, overflow);
+    out.count = 0;
+    if (n == 0 && !overflow)
+        return true; // blank/comment
+    if (overflow || n != 3) {
+        err = formatStr("expected '<addr> <R/W> <cycle>', got {} "
+                        "column(s)",
+                        overflow ? 4u : n);
+        return false;
+    }
+    std::uint64_t addr = 0, cycle = 0;
+    if (!parseU64(tok[0], addr)) {
+        err = formatStr("bad address '{}'", std::string(tok[0]));
+        return false;
+    }
+    bool is_write;
+    if (tok[1] == "R" || tok[1] == "READ") {
+        is_write = false;
+    } else if (tok[1] == "W" || tok[1] == "WRITE") {
+        is_write = true;
+    } else {
+        err = formatStr("bad op '{}' (expected R/W/READ/WRITE)",
+                        std::string(tok[1]));
+        return false;
+    }
+    if (!parseU64(tok[2], cycle)) {
+        err = formatStr("bad cycle '{}'", std::string(tok[2]));
+        return false;
+    }
+    // Arrival spacing becomes the instruction gap; a non-monotonic
+    // stamp (merged traces) degrades to back-to-back, not an error.
+    std::uint64_t delta =
+        cur.first ? 0 : (cycle > cur.lastCycle ? cycle - cur.lastCycle : 0);
+    cur.first = false;
+    cur.lastCycle = cycle;
+    out.entry[0] = TraceEntry{saturate32(delta), addr, is_write};
+    out.count = 1;
+    return true;
+}
+
+void
+encodeBinaryHeader(const BinaryTraceHeader &h, unsigned char *dst)
+{
+    putLe(dst + 0, h.magic, 4);
+    putLe(dst + 4, h.version, 2);
+    putLe(dst + 6, h.flags, 2);
+    putLe(dst + 8, h.records, 8);
+}
+
+bool
+decodeBinaryHeader(const unsigned char *src, BinaryTraceHeader &out,
+                   std::string &err)
+{
+    out.magic = static_cast<std::uint32_t>(getLe(src + 0, 4));
+    out.version = static_cast<std::uint16_t>(getLe(src + 4, 2));
+    out.flags = static_cast<std::uint16_t>(getLe(src + 6, 2));
+    out.records = getLe(src + 8, 8);
+    if (out.magic != kBinaryTraceMagic) {
+        err = formatStr("bad magic 0x{:x} (not a dasdram binary trace)",
+                        out.magic);
+        return false;
+    }
+    if (out.version != kBinaryTraceVersion) {
+        err = formatStr("unsupported binary-trace version {} (this "
+                        "build reads version {})",
+                        out.version, kBinaryTraceVersion);
+        return false;
+    }
+    return true;
+}
+
+void
+encodeBinaryRecord(const TraceEntry &e, unsigned char *dst)
+{
+    putLe(dst + 0, e.gap, 4);
+    putLe(dst + 4, e.addr, 8);
+    dst[12] = e.isWrite ? 1 : 0;
+}
+
+void
+decodeBinaryRecord(const unsigned char *src, TraceEntry &out)
+{
+    out.gap = static_cast<std::uint32_t>(getLe(src + 0, 4));
+    out.addr = getLe(src + 4, 8);
+    out.isWrite = (src[12] & 1) != 0;
+}
+
+} // namespace dasdram

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * External trace-file formats: identification, text-line parsers and
+ * the compact internal binary codec.
+ *
+ * Three on-disk formats are understood (see README for examples):
+ *
+ *  - Ramulator-style text: `<bubble-count> <load-addr> [<store-addr>]`
+ *    per line; the optional third column adds a zero-gap store after
+ *    the load. Addresses are decimal or 0x-hex. `#` starts a comment.
+ *  - DRAMSim3-style text: `<addr> <R|W|READ|WRITE> <cycle>` per line;
+ *    cycle deltas between consecutive lines become instruction gaps.
+ *  - The internal binary format: a 16-byte header (magic, version,
+ *    record count) followed by fixed 13-byte little-endian records —
+ *    what TraceRecorder emits and the fastest format to replay.
+ *
+ * The parsers here are pure line/byte-level functions with error
+ * returns so they are unit-testable; trace_file.hh wraps them in the
+ * streaming reader, which turns errors into fatal() with file:line
+ * context.
+ */
+
+#ifndef DASDRAM_WORKLOAD_TRACE_FORMAT_HH
+#define DASDRAM_WORKLOAD_TRACE_FORMAT_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "cpu/trace.hh"
+
+namespace dasdram
+{
+
+/** On-disk trace format. */
+enum class TraceFormat
+{
+    Auto,      ///< sniff from extension / file contents
+    Ramulator, ///< `<bubbles> <load-addr> [<store-addr>]`
+    Dramsim3,  ///< `<addr> <R/W> <cycle>`
+    Binary,    ///< internal header + fixed-size records
+};
+
+/** Display name: "auto", "ramulator", "dramsim3", "binary". */
+const char *toString(TraceFormat f);
+
+/** Parse a format name; returns false on unknown names. */
+bool parseTraceFormat(const std::string &name, TraceFormat &out);
+
+/**
+ * Pick a format for @p path from its filename: `.dastrace` (optionally
+ * + `.gz`) means Binary, `.ds3` / `.dramsim` means Dramsim3, anything
+ * else defaults to Ramulator (the most common interchange format).
+ * Content sniffing (the binary magic) runs on top of this in the
+ * reader, so a mis-named binary file is still rejected loudly.
+ */
+TraceFormat formatFromPath(const std::string &path);
+
+/**
+ * Result of parsing one text line: up to two records (a Ramulator
+ * store column yields a trailing zero-gap write).
+ */
+struct ParsedLine
+{
+    TraceEntry entry[2];
+    unsigned count = 0; ///< 0: blank/comment line
+};
+
+/**
+ * Parse one Ramulator-format line. Returns false on malformed input
+ * with a human-readable reason in @p err (no line number — the caller
+ * owns that context).
+ */
+bool parseRamulatorLine(std::string_view line, ParsedLine &out,
+                        std::string &err);
+
+/** Running state the DRAMSim3 parser keeps between lines. */
+struct Dramsim3Cursor
+{
+    std::uint64_t lastCycle = 0;
+    bool first = true;
+};
+
+/**
+ * Parse one DRAMSim3-format line. @p cur carries the previous line's
+ * cycle stamp; the gap of a record is the (saturated) cycle delta to
+ * it, so replay preserves the trace's arrival spacing. Reset @p cur
+ * when rewinding.
+ */
+bool parseDramsim3Line(std::string_view line, Dramsim3Cursor &cur,
+                       ParsedLine &out, std::string &err);
+
+/// @name Internal binary format
+/// @{
+
+/** Magic bytes "DAST" (little-endian u32) opening a binary trace. */
+constexpr std::uint32_t kBinaryTraceMagic = 0x54534144u;
+
+/** Current (and only) binary-format version. */
+constexpr std::uint16_t kBinaryTraceVersion = 1;
+
+/** Record count value meaning "unknown" (writer died before close). */
+constexpr std::uint64_t kBinaryCountUnknown = ~0ull;
+
+/** Fixed header of a binary trace file. */
+struct BinaryTraceHeader
+{
+    std::uint32_t magic = kBinaryTraceMagic;
+    std::uint16_t version = kBinaryTraceVersion;
+    std::uint16_t flags = 0;                      ///< reserved, 0
+    std::uint64_t records = kBinaryCountUnknown;  ///< patched at close
+};
+
+/** On-disk sizes (fields are packed little-endian, no padding). */
+constexpr std::size_t kBinaryHeaderBytes = 16;
+constexpr std::size_t kBinaryRecordBytes = 13; ///< u32 gap, u64 addr, u8 flags
+
+/** Serialise @p h into @p dst (kBinaryHeaderBytes bytes). */
+void encodeBinaryHeader(const BinaryTraceHeader &h, unsigned char *dst);
+
+/**
+ * Decode and validate a header. Returns false with a reason in @p err
+ * on a bad magic or an unsupported version.
+ */
+bool decodeBinaryHeader(const unsigned char *src, BinaryTraceHeader &out,
+                        std::string &err);
+
+/** Serialise @p e into @p dst (kBinaryRecordBytes bytes). */
+void encodeBinaryRecord(const TraceEntry &e, unsigned char *dst);
+
+/** Decode one record (always succeeds on kBinaryRecordBytes bytes). */
+void decodeBinaryRecord(const unsigned char *src, TraceEntry &out);
+
+/// @}
+
+} // namespace dasdram
+
+#endif // DASDRAM_WORKLOAD_TRACE_FORMAT_HH

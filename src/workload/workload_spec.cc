@@ -1,0 +1,344 @@
+#include "workload_spec.hh"
+
+#include "common/log.hh"
+#include "common/strfmt.hh"
+#include "workload/spec_profiles.hh"
+#include "workload/synth_trace.hh"
+#include "workload/trace_file.hh"
+
+namespace dasdram
+{
+
+namespace
+{
+
+/** "M1".."M8" => 0..7, else npos. */
+std::size_t
+mixIndexOf(const std::string &s)
+{
+    if (s.size() == 2 && s[0] == 'M' && s[1] >= '1' && s[1] <= '8')
+        return static_cast<std::size_t>(s[1] - '1');
+    return std::string::npos;
+}
+
+bool
+consumePrefix(std::string &s, std::string_view prefix)
+{
+    if (s.size() < prefix.size() ||
+        s.compare(0, prefix.size(), prefix) != 0)
+        return false;
+    s.erase(0, prefix.size());
+    return true;
+}
+
+/** Strict small unsigned parse for spec options. */
+bool
+parseOptUInt(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty() || s.size() > 9)
+        return false;
+    std::uint64_t v = 0;
+    for (char c : s) {
+        if (c < '0' || c > '9')
+            return false;
+        v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    out = v;
+    return true;
+}
+
+/**
+ * Parse one `file:` element (prefix already stripped) into parts.
+ * Options (`format=`, `loop=`, `cores=`) trail the path; a ':' inside
+ * the path is kept as long as the token is not an option.
+ */
+bool
+parseFileElement(const std::string &body, std::vector<WorkloadPart> &out,
+                 std::string &err)
+{
+    std::string path;
+    TraceFormat format = TraceFormat::Auto;
+    bool loop = true;
+    std::uint64_t cores = 1;
+
+    std::size_t pos = 0;
+    bool in_options = false;
+    while (pos <= body.size()) {
+        std::size_t colon = body.find(':', pos);
+        std::string tok =
+            colon == std::string::npos
+                ? body.substr(pos)
+                : body.substr(pos, colon - pos);
+        bool is_option = tok.find('=') != std::string::npos;
+        if (!is_option) {
+            if (in_options) {
+                err = formatStr("option expected after ':' in "
+                                "'file:{}' (got '{}')",
+                                body, tok);
+                return false;
+            }
+            if (!path.empty())
+                path += ':';
+            path += tok;
+        } else {
+            in_options = true;
+            std::size_t eq = tok.find('=');
+            std::string key = tok.substr(0, eq);
+            std::string value = tok.substr(eq + 1);
+            if (key == "format") {
+                if (!parseTraceFormat(value, format)) {
+                    err = formatStr("unknown trace format '{}' (want "
+                                    "auto|ramulator|dramsim3|binary)",
+                                    value);
+                    return false;
+                }
+            } else if (key == "loop") {
+                if (value == "0" || value == "false") {
+                    loop = false;
+                } else if (value == "1" || value == "true") {
+                    loop = true;
+                } else {
+                    err = formatStr("bad loop value '{}' (want 0 or 1)",
+                                    value);
+                    return false;
+                }
+            } else if (key == "cores") {
+                if (!parseOptUInt(value, cores) || cores == 0 ||
+                    cores > 1024) {
+                    err = formatStr("bad cores value '{}' (want 1..1024)",
+                                    value);
+                    return false;
+                }
+            } else {
+                err = formatStr("unknown file option '{}'", key);
+                return false;
+            }
+        }
+        if (colon == std::string::npos)
+            break;
+        pos = colon + 1;
+    }
+    if (path.empty()) {
+        err = "file spec has an empty path";
+        return false;
+    }
+    for (unsigned i = 0; i < cores; ++i) {
+        WorkloadPart p;
+        p.path = path;
+        p.format = format;
+        p.loop = loop;
+        p.shard = i;
+        p.shardCount = static_cast<unsigned>(cores);
+        out.push_back(std::move(p));
+    }
+    return true;
+}
+
+/**
+ * Parse one non-mix element into parts. @p inside_mix rejects nested
+ * mixes (an M1 inside a mix would mean cores-of-cores).
+ */
+bool
+parseElement(const std::string &element, bool inside_mix,
+             std::vector<WorkloadPart> &out, std::string &err)
+{
+    if (element.empty()) {
+        err = "empty workload element";
+        return false;
+    }
+    std::string body = element;
+    if (consumePrefix(body, "file:"))
+        return parseFileElement(body, out, err);
+
+    bool prefixed = consumePrefix(body, "spec:") ||
+                    consumePrefix(body, "synth:");
+    if (body.empty()) {
+        err = formatStr("'{}' names no profile", element);
+        return false;
+    }
+    if (body.find(':') != std::string::npos) {
+        err = formatStr("unknown workload spec '{}' (prefixes: spec:, "
+                        "synth:, file:, mix:)",
+                        element);
+        return false;
+    }
+    (void)prefixed;
+
+    std::size_t mi = mixIndexOf(body);
+    if (mi != std::string::npos) {
+        if (inside_mix) {
+            err = formatStr("mix '{}' cannot appear inside mix:", body);
+            return false;
+        }
+        for (const std::string &bench : specMixes()[mi]) {
+            WorkloadPart p;
+            p.profile = bench;
+            out.push_back(std::move(p));
+        }
+        return true;
+    }
+    if (!findSpecProfile(body)) {
+        err = formatStr("unknown benchmark profile '{}' (see "
+                        "specBenchmarks())",
+                        body);
+        return false;
+    }
+    WorkloadPart p;
+    p.profile = body;
+    out.push_back(std::move(p));
+    return true;
+}
+
+/** Split on ',' keeping empty tokens (they are errors downstream). */
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (true) {
+        std::size_t comma = s.find(',', pos);
+        out.push_back(comma == std::string::npos
+                          ? s.substr(pos)
+                          : s.substr(pos, comma - pos));
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+WorkloadPart::label() const
+{
+    if (!isFile())
+        return profile;
+    std::string l = "file:" + path;
+    if (shardCount > 1)
+        l += formatStr("#{}/{}", shard, shardCount);
+    return l;
+}
+
+bool
+WorkloadSpec::tryParse(const std::string &text, WorkloadSpec &out,
+                       std::string *err)
+{
+    std::string reason;
+    auto fail = [&](std::string r) {
+        if (err)
+            *err = std::move(r);
+        return false;
+    };
+    if (text.empty())
+        return fail("empty workload spec");
+
+    out = WorkloadSpec{};
+
+    std::string body = text;
+    bool is_mix = consumePrefix(body, "mix:");
+    std::vector<std::string> elements =
+        is_mix || body.find(',') != std::string::npos
+            ? splitCommas(body)
+            : std::vector<std::string>{body};
+
+    for (const std::string &e : elements) {
+        if (!parseElement(e, elements.size() > 1, out.parts, reason))
+            return fail(std::move(reason));
+    }
+    if (out.parts.empty())
+        return fail("workload spec names no cores");
+
+    // Display name: legacy spellings keep their exact name (sweep
+    // seeds and output files derive from it); prefixed forms
+    // normalise to it.
+    bool any_file = false;
+    for (const WorkloadPart &p : out.parts)
+        any_file |= p.isFile();
+    std::size_t mi = elements.size() == 1
+                         ? mixIndexOf(elements[0].compare(0, 5, "spec:") == 0
+                                          ? elements[0].substr(5)
+                                          : elements[0])
+                         : std::string::npos;
+    if (any_file) {
+        out.name = text;
+    } else if (mi != std::string::npos) {
+        out.name = mixName(mi);
+    } else {
+        std::string joined;
+        for (std::size_t i = 0; i < out.parts.size(); ++i) {
+            if (i)
+                joined += ',';
+            joined += out.parts[i].profile;
+        }
+        out.name = joined;
+    }
+    return true;
+}
+
+WorkloadSpec
+WorkloadSpec::parse(const std::string &text)
+{
+    WorkloadSpec w;
+    std::string err;
+    if (!tryParse(text, w, &err))
+        fatal("bad workload spec '{}': {}", text, err);
+    return w;
+}
+
+WorkloadSpec
+WorkloadSpec::single(const std::string &bench)
+{
+    WorkloadSpec w;
+    w.name = bench;
+    WorkloadPart p;
+    p.profile = bench;
+    w.parts.push_back(std::move(p));
+    return w;
+}
+
+WorkloadSpec
+WorkloadSpec::mix(std::size_t i)
+{
+    const auto &mixes = specMixes();
+    if (i >= mixes.size())
+        fatal("mix index {} out of range", i);
+    WorkloadSpec w;
+    w.name = mixName(i);
+    for (const std::string &bench : mixes[i]) {
+        WorkloadPart p;
+        p.profile = bench;
+        w.parts.push_back(std::move(p));
+    }
+    return w;
+}
+
+std::vector<std::unique_ptr<TraceSource>>
+buildTraces(const WorkloadSpec &w, std::uint64_t seed,
+            std::uint64_t row_bytes, std::uint64_t line_bytes)
+{
+    std::vector<std::unique_ptr<TraceSource>> traces;
+    traces.reserve(w.parts.size());
+    for (unsigned i = 0; i < w.parts.size(); ++i) {
+        const WorkloadPart &p = w.parts[i];
+        if (p.isFile()) {
+            FileTraceSource::Options opt;
+            opt.format = p.format;
+            opt.loop = p.loop;
+            opt.shard = p.shard;
+            opt.shardCount = p.shardCount;
+            traces.push_back(
+                std::make_unique<FileTraceSource>(p.path, opt));
+        } else {
+            // The historical per-(workload, core) stream identity —
+            // golden stats and every figure depend on this formula.
+            std::uint64_t trace_seed = seed * 1000003 + i * 7919 + 1;
+            traces.push_back(std::make_unique<SyntheticTrace>(
+                specProfile(p.profile), trace_seed, row_bytes,
+                line_bytes));
+        }
+    }
+    return traces;
+}
+
+} // namespace dasdram

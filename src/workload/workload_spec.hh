@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The unified workload API: one string grammar describing what every
+ * core executes, parsed in one place and consumed by SimConfig,
+ * System, the experiment/sweep drivers and every front-end binary.
+ *
+ * Grammar (one spec = one workload; see README for the table):
+ *
+ *   spec:<name>       synthetic SPEC CPU2006 profile (Table 2), e.g.
+ *                     spec:mcf — `synth:<name>` is an accepted synonym
+ *   spec:M1 .. M8     a Table 2 multi-programming mix (4 cores)
+ *   file:<path>[:format=<f>][:loop=<0|1>][:cores=<n>]
+ *                     stream an external trace file; format is
+ *                     auto|ramulator|dramsim3|binary (default: auto),
+ *                     loop defaults to 1 (rewind at EOF — fixed-
+ *                     instruction runs never exhaust), cores=<n>
+ *                     round-robin-shards the one file across n cores
+ *   mix:<e>,<e>,...   one element per core; each element is any
+ *                     non-mix spec (or a bare benchmark name)
+ *
+ * Legacy spellings remain valid so existing scripts keep working:
+ * a bare benchmark name ("mcf"), a mix name ("M3") and a comma-
+ * separated benchmark list ("mcf,lbm") parse as before.
+ */
+
+#ifndef DASDRAM_WORKLOAD_WORKLOAD_SPEC_HH
+#define DASDRAM_WORKLOAD_WORKLOAD_SPEC_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/trace.hh"
+#include "workload/trace_format.hh"
+
+namespace dasdram
+{
+
+/** What one core executes: a synthetic profile or an external trace. */
+struct WorkloadPart
+{
+    /** Synthetic profile name; empty for file parts. */
+    std::string profile;
+
+    /** Trace-file path; empty for synthetic parts. */
+    std::string path;
+    TraceFormat format = TraceFormat::Auto;
+    bool loop = true;
+    unsigned shard = 0;      ///< round-robin shard of a shared file
+    unsigned shardCount = 1;
+
+    bool isFile() const { return !path.empty(); }
+
+    /** Display label: the profile name, or "file:<path>[#i/n]". */
+    std::string label() const;
+};
+
+/** A parsed workload: a display name plus one part per core. */
+struct WorkloadSpec
+{
+    std::string name;                ///< display ("mcf", "M3", ...)
+    std::vector<WorkloadPart> parts; ///< one per core
+
+    unsigned
+    numCores() const
+    {
+        return static_cast<unsigned>(parts.size());
+    }
+
+    /**
+     * Parse the grammar above; fatal() on malformed specs (front-end
+     * use, where a bad spec is a user error).
+     */
+    static WorkloadSpec parse(const std::string &text);
+
+    /** Non-fatal parse; false with a reason in @p err on bad specs. */
+    static bool tryParse(const std::string &text, WorkloadSpec &out,
+                         std::string *err = nullptr);
+
+    /** Single synthetic benchmark on one core (fatal if unknown). */
+    static WorkloadSpec single(const std::string &bench);
+
+    /** Multi-programming mix Mi (0-based index into Table 2). */
+    static WorkloadSpec mix(std::size_t i);
+};
+
+/**
+ * Build one TraceSource per core for @p w. Synthetic parts use the
+ * deterministic per-(seed, core) stream identity the experiment layer
+ * has always used; file parts stream through FileTraceSource in
+ * O(buffer) memory. @p row_bytes / @p line_bytes parameterise the
+ * synthetic generator (must match the DRAM geometry).
+ */
+std::vector<std::unique_ptr<TraceSource>>
+buildTraces(const WorkloadSpec &w, std::uint64_t seed,
+            std::uint64_t row_bytes, std::uint64_t line_bytes);
+
+} // namespace dasdram
+
+#endif // DASDRAM_WORKLOAD_WORKLOAD_SPEC_HH

@@ -20,6 +20,8 @@
 #include "common/jsonl_diff.hh"
 #include "sim/sweep.hh"
 #include "sim/system.hh"
+#include "workload/spec_profiles.hh"
+#include "workload/synth_trace.hh"
 
 using namespace dasdram;
 

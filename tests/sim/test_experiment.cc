@@ -27,10 +27,10 @@ TEST(WorkloadSpec, SingleAndMix)
 {
     WorkloadSpec s = WorkloadSpec::single("mcf");
     EXPECT_EQ(s.name, "mcf");
-    ASSERT_EQ(s.benchmarks.size(), 1u);
+    ASSERT_EQ(s.parts.size(), 1u);
     WorkloadSpec m = WorkloadSpec::mix(0);
     EXPECT_EQ(m.name, "M1");
-    EXPECT_EQ(m.benchmarks.size(), 4u);
+    EXPECT_EQ(m.parts.size(), 4u);
     EXPECT_DEATH(WorkloadSpec::mix(8), "out of range");
 }
 

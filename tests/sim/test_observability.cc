@@ -18,6 +18,8 @@
 #include "common/json.hh"
 #include "sim/experiment.hh"
 #include "sim/system.hh"
+#include "workload/spec_profiles.hh"
+#include "workload/synth_trace.hh"
 
 using namespace dasdram;
 

@@ -10,6 +10,8 @@
 
 #include "sim/experiment.hh"
 #include "sim/system.hh"
+#include "workload/spec_profiles.hh"
+#include "workload/synth_trace.hh"
 
 using namespace dasdram;
 
@@ -104,7 +106,7 @@ TEST(System, MultiCoreSharesMemorySystem)
     SimConfig cfg = tinyConfig(DesignKind::Das, 100'000);
     cfg.numCores = 2;
     SyntheticTrace t0(tinyProfile(), 1), t1(tinyProfile(), 2);
-    System sys(cfg, {&t0, &t1});
+    System sys(cfg, std::vector<TraceSource *>{&t0, &t1});
     RunMetrics m = sys.run();
     EXPECT_EQ(m.ipc.size(), 2u);
     EXPECT_GT(m.ipc[0], 0.05);

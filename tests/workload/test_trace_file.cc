@@ -1,0 +1,384 @@
+/**
+ * @file
+ * Tests for the streaming trace ingestion layer: the three on-disk
+ * formats, malformed-input rejection with file:line context,
+ * truncation and version checks on the binary format, deterministic
+ * rewind, round-robin sharding, looping, and record/replay through
+ * TraceRecorder. The committed sample traces under tests/data/ are
+ * parsed too, so the documented formats stay honest.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "workload/trace_file.hh"
+#include "workload/trace_format.hh"
+
+using namespace dasdram;
+
+namespace
+{
+
+/** Entries of @p src until exhaustion (bounded — looping sources would
+ *  spin forever). */
+std::vector<TraceEntry>
+drain(TraceSource &src, std::size_t limit = 10000)
+{
+    std::vector<TraceEntry> out;
+    TraceEntry e{};
+    while (out.size() < limit && src.next(e))
+        out.push_back(e);
+    return out;
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + "dasdram_trace_" + name;
+}
+
+std::string
+writeFile(const std::string &name, const std::string &content)
+{
+    std::string path = tempPath(name);
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << content;
+    return path;
+}
+
+bool
+sameEntries(const std::vector<TraceEntry> &a,
+            const std::vector<TraceEntry> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].gap != b[i].gap || a[i].addr != b[i].addr ||
+            a[i].isWrite != b[i].isWrite)
+            return false;
+    }
+    return true;
+}
+
+FileTraceSource::Options
+noLoop()
+{
+    FileTraceSource::Options opt;
+    opt.loop = false;
+    return opt;
+}
+
+} // namespace
+
+TEST(TraceFormat, FromPath)
+{
+    EXPECT_EQ(formatFromPath("a/b.dastrace"), TraceFormat::Binary);
+    EXPECT_EQ(formatFromPath("a/b.dastrace.gz"), TraceFormat::Binary);
+    EXPECT_EQ(formatFromPath("a/b.ds3"), TraceFormat::Dramsim3);
+    EXPECT_EQ(formatFromPath("a/b.dramsim"), TraceFormat::Dramsim3);
+    EXPECT_EQ(formatFromPath("a/b.trace"), TraceFormat::Ramulator);
+    EXPECT_EQ(formatFromPath("whatever"), TraceFormat::Ramulator);
+}
+
+TEST(TraceFormat, ParseNames)
+{
+    TraceFormat f = TraceFormat::Auto;
+    EXPECT_TRUE(parseTraceFormat("ramulator", f));
+    EXPECT_EQ(f, TraceFormat::Ramulator);
+    EXPECT_TRUE(parseTraceFormat("dramsim3", f));
+    EXPECT_EQ(f, TraceFormat::Dramsim3);
+    EXPECT_TRUE(parseTraceFormat("binary", f));
+    EXPECT_EQ(f, TraceFormat::Binary);
+    EXPECT_TRUE(parseTraceFormat("auto", f));
+    EXPECT_EQ(f, TraceFormat::Auto);
+    EXPECT_FALSE(parseTraceFormat("bogus", f));
+}
+
+TEST(TraceFormat, BinaryHeaderRoundTrip)
+{
+    BinaryTraceHeader h;
+    h.records = 1234;
+    unsigned char buf[kBinaryHeaderBytes];
+    encodeBinaryHeader(h, buf);
+
+    BinaryTraceHeader back;
+    std::string err;
+    ASSERT_TRUE(decodeBinaryHeader(buf, back, err)) << err;
+    EXPECT_EQ(back.magic, kBinaryTraceMagic);
+    EXPECT_EQ(back.version, kBinaryTraceVersion);
+    EXPECT_EQ(back.records, 1234u);
+
+    buf[0] ^= 0xff; // bad magic
+    EXPECT_FALSE(decodeBinaryHeader(buf, back, err));
+    EXPECT_NE(err.find("magic"), std::string::npos);
+}
+
+TEST(TraceFormat, BinaryRecordRoundTrip)
+{
+    TraceEntry e{};
+    e.gap = 77;
+    e.addr = 0x123456789abcull;
+    e.isWrite = true;
+    unsigned char buf[kBinaryRecordBytes];
+    encodeBinaryRecord(e, buf);
+    TraceEntry back{};
+    decodeBinaryRecord(buf, back);
+    EXPECT_EQ(back.gap, 77u);
+    EXPECT_EQ(back.addr, 0x123456789abcull);
+    EXPECT_TRUE(back.isWrite);
+}
+
+TEST(TraceFile, RamulatorBasic)
+{
+    std::string path = writeFile("ram_basic.trace",
+                                 "# a comment\n"
+                                 "2 0x1000\n"
+                                 "\n"
+                                 "0 0x2000 0x3000\n"
+                                 "5 4096\n");
+    FileTraceSource src(path, noLoop());
+    EXPECT_EQ(src.format(), TraceFormat::Ramulator);
+    auto got = drain(src);
+    ASSERT_EQ(got.size(), 4u);
+    EXPECT_EQ(got[0].gap, 2u);
+    EXPECT_EQ(got[0].addr, 0x1000u);
+    EXPECT_FALSE(got[0].isWrite);
+    // The store column becomes a trailing zero-gap write.
+    EXPECT_EQ(got[1].addr, 0x2000u);
+    EXPECT_FALSE(got[1].isWrite);
+    EXPECT_EQ(got[2].gap, 0u);
+    EXPECT_EQ(got[2].addr, 0x3000u);
+    EXPECT_TRUE(got[2].isWrite);
+    EXPECT_EQ(got[3].addr, 4096u);
+    EXPECT_EQ(src.recordsDelivered(), 4u);
+}
+
+TEST(TraceFile, RamulatorMalformedLineIsFatalWithLineNumber)
+{
+    std::string path = writeFile("ram_bad.trace",
+                                 "1 0x10\n"
+                                 "nonsense line\n");
+    FileTraceSource src(path, noLoop());
+    TraceEntry e{};
+    ASSERT_TRUE(src.next(e));
+    EXPECT_DEATH(src.next(e), ":2:");
+}
+
+TEST(TraceFile, Dramsim3CycleDeltasBecomeGaps)
+{
+    std::string path = writeFile("ds3_basic.ds3",
+                                 "0x100 R 10\n"
+                                 "0x200 WRITE 25\n"
+                                 "0x300 READ 25\n");
+    FileTraceSource src(path, noLoop());
+    EXPECT_EQ(src.format(), TraceFormat::Dramsim3);
+    auto got = drain(src);
+    ASSERT_EQ(got.size(), 3u);
+    EXPECT_EQ(got[0].gap, 0u); // first line: no predecessor
+    EXPECT_FALSE(got[0].isWrite);
+    EXPECT_EQ(got[1].gap, 15u);
+    EXPECT_TRUE(got[1].isWrite);
+    EXPECT_EQ(got[2].gap, 0u);
+    EXPECT_FALSE(got[2].isWrite);
+}
+
+TEST(TraceFile, Dramsim3MalformedOpIsFatal)
+{
+    std::string path = writeFile("ds3_bad.ds3", "0x100 X 10\n");
+    FileTraceSource src(path, noLoop());
+    TraceEntry e{};
+    EXPECT_DEATH(src.next(e), ":1:.*bad op");
+}
+
+TEST(TraceFile, MissingFileIsFatal)
+{
+    EXPECT_DEATH(FileTraceSource("/nonexistent/path.trace"),
+                 "cannot open trace");
+}
+
+TEST(TraceFile, BinaryWriteReadRoundTrip)
+{
+    std::string path = tempPath("roundtrip.dastrace");
+    std::vector<TraceEntry> written;
+    {
+        BinaryTraceWriter w(path);
+        for (unsigned i = 0; i < 300; ++i) {
+            TraceEntry e{};
+            e.gap = i % 7;
+            e.addr = 0x1000ull * i;
+            e.isWrite = (i % 3) == 0;
+            w.write(e);
+            written.push_back(e);
+        }
+        w.close();
+        EXPECT_EQ(w.records(), 300u);
+    }
+    FileTraceSource src(path, noLoop());
+    EXPECT_EQ(src.format(), TraceFormat::Binary);
+    EXPECT_TRUE(sameEntries(drain(src), written));
+}
+
+TEST(TraceFile, BinaryVersionMismatchIsFatal)
+{
+    BinaryTraceHeader h;
+    h.version = kBinaryTraceVersion + 1;
+    h.records = 0;
+    unsigned char buf[kBinaryHeaderBytes];
+    encodeBinaryHeader(h, buf);
+    std::string path =
+        writeFile("badver.dastrace",
+                  std::string(reinterpret_cast<char *>(buf),
+                              kBinaryHeaderBytes));
+    EXPECT_DEATH(FileTraceSource(path, noLoop()),
+                 "unsupported binary-trace version");
+}
+
+TEST(TraceFile, BinaryTruncationIsFatal)
+{
+    std::string path = tempPath("trunc.dastrace");
+    {
+        BinaryTraceWriter w(path);
+        for (unsigned i = 0; i < 10; ++i) {
+            TraceEntry e{};
+            e.addr = i;
+            w.write(e);
+        }
+        w.close();
+    }
+    // Chop the last record in half: the header still promises 10.
+    std::ifstream is(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(is)),
+                      std::istreambuf_iterator<char>());
+    is.close();
+    bytes.resize(bytes.size() - kBinaryRecordBytes / 2);
+    std::string chopped = writeFile("trunc2.dastrace", bytes);
+
+    FileTraceSource src(chopped, noLoop());
+    TraceEntry e{};
+    EXPECT_DEATH(while (src.next(e)) {}, "truncated");
+}
+
+TEST(TraceFile, RewindIsDeterministic)
+{
+    std::string path = writeFile("rewind.trace",
+                                 "1 0x100\n"
+                                 "2 0x200 0x300\n"
+                                 "3 0x400\n");
+    FileTraceSource src(path, noLoop());
+    auto first = drain(src);
+    ASSERT_EQ(first.size(), 4u);
+    src.reset();
+    EXPECT_TRUE(sameEntries(drain(src), first));
+    src.reset();
+    EXPECT_TRUE(sameEntries(drain(src), first));
+}
+
+TEST(TraceFile, RoundRobinShardsPartitionTheRecords)
+{
+    std::string content;
+    for (unsigned i = 0; i < 9; ++i)
+        content += std::to_string(i) + " " + std::to_string(0x1000 * i) +
+                   "\n";
+    std::string path = writeFile("shard.trace", content);
+
+    FileTraceSource whole(path, noLoop());
+    auto all = drain(whole);
+    ASSERT_EQ(all.size(), 9u);
+
+    std::vector<TraceEntry> merged(all.size());
+    for (unsigned s = 0; s < 3; ++s) {
+        FileTraceSource::Options opt = noLoop();
+        opt.shard = s;
+        opt.shardCount = 3;
+        FileTraceSource part(path, opt);
+        auto got = drain(part);
+        ASSERT_EQ(got.size(), 3u) << "shard " << s;
+        for (std::size_t i = 0; i < got.size(); ++i)
+            merged[i * 3 + s] = got[i];
+    }
+    EXPECT_TRUE(sameEntries(merged, all));
+}
+
+TEST(TraceFile, LoopModeRewindsAtEof)
+{
+    std::string path = writeFile("loop.trace",
+                                 "1 0x100\n"
+                                 "2 0x200\n");
+    FileTraceSource src(path); // loop defaults on
+    TraceEntry e{};
+    for (int i = 0; i < 7; ++i)
+        ASSERT_TRUE(src.next(e));
+    EXPECT_EQ(src.recordsDelivered(), 7u);
+    EXPECT_GE(src.passes(), 3u);
+    // 7 % 2 == 1: the last record seen is the first of the file.
+    EXPECT_EQ(e.addr, 0x100u);
+}
+
+TEST(TraceFile, RecorderCapturesAndReplayWipesOnReset)
+{
+    std::string src_path = writeFile("rec_src.trace",
+                                     "1 0x100\n"
+                                     "2 0x200 0x300\n");
+    std::string rec_path = tempPath("rec_out.dastrace");
+
+    FileTraceSource inner(src_path, noLoop());
+    TraceRecorder rec(inner, rec_path);
+
+    // A profiling-style pre-pass followed by reset() must leave no
+    // records behind — only the final pass lands in the file.
+    auto pre = drain(rec);
+    ASSERT_EQ(pre.size(), 3u);
+    rec.reset();
+    auto final_pass = drain(rec);
+    rec.close();
+    EXPECT_EQ(rec.recorded(), 3u);
+
+    FileTraceSource replay(rec_path, noLoop());
+    EXPECT_TRUE(sameEntries(drain(replay), final_pass));
+}
+
+TEST(TraceFile, CommittedSampleTracesParse)
+{
+    std::string dir = DASDRAM_TEST_DATA_DIR;
+    {
+        FileTraceSource src(dir + "/sample_ramulator.trace", noLoop());
+        EXPECT_EQ(src.format(), TraceFormat::Ramulator);
+        EXPECT_GE(drain(src).size(), 8u);
+    }
+    {
+        FileTraceSource src(dir + "/sample_dramsim3.ds3", noLoop());
+        EXPECT_EQ(src.format(), TraceFormat::Dramsim3);
+        EXPECT_GE(drain(src).size(), 8u);
+    }
+    {
+        FileTraceSource src(dir + "/sample_binary.dastrace", noLoop());
+        EXPECT_EQ(src.format(), TraceFormat::Binary);
+        auto got = drain(src);
+        ASSERT_EQ(got.size(), 10u);
+        EXPECT_EQ(got[0].gap, 4u);
+        EXPECT_EQ(got[0].addr, 0x10000u);
+        EXPECT_TRUE(got[3].isWrite);
+    }
+}
+
+TEST(TraceFile, GzipTransparentDecompression)
+{
+    if (!traceGzipSupported())
+        GTEST_SKIP() << "built without zlib";
+    std::string dir = DASDRAM_TEST_DATA_DIR;
+    FileTraceSource plain(dir + "/sample_ramulator.trace", noLoop());
+    FileTraceSource gz(dir + "/sample_ramulator.trace.gz", noLoop());
+    auto a = drain(plain);
+    auto b = drain(gz);
+    EXPECT_TRUE(sameEntries(a, b));
+    EXPECT_FALSE(a.empty());
+
+    // Rewind determinism holds through the decompressor too.
+    gz.reset();
+    EXPECT_TRUE(sameEntries(drain(gz), b));
+}

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the unified workload-spec grammar (workload_spec.hh):
+ * legacy spellings, the prefixed forms, file-element options, mixes,
+ * the display-name normalization the sweep seeds depend on, and the
+ * synthetic per-core stream identity of buildTraces().
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/spec_profiles.hh"
+#include "workload/synth_trace.hh"
+#include "workload/workload_spec.hh"
+
+using namespace dasdram;
+
+namespace
+{
+
+std::string
+parseError(const std::string &text)
+{
+    WorkloadSpec w;
+    std::string err;
+    EXPECT_FALSE(WorkloadSpec::tryParse(text, w, &err)) << text;
+    return err;
+}
+
+} // namespace
+
+TEST(WorkloadSpec, LegacyBareBenchmarkName)
+{
+    WorkloadSpec w = WorkloadSpec::parse("mcf");
+    EXPECT_EQ(w.name, "mcf");
+    ASSERT_EQ(w.numCores(), 1u);
+    EXPECT_EQ(w.parts[0].profile, "mcf");
+    EXPECT_FALSE(w.parts[0].isFile());
+    EXPECT_EQ(w.parts[0].label(), "mcf");
+}
+
+TEST(WorkloadSpec, LegacyMixName)
+{
+    WorkloadSpec w = WorkloadSpec::parse("M3");
+    EXPECT_EQ(w.name, "M3");
+    EXPECT_EQ(w.numCores(), 4u);
+    for (const WorkloadPart &p : w.parts)
+        EXPECT_NE(findSpecProfile(p.profile), nullptr) << p.profile;
+}
+
+TEST(WorkloadSpec, LegacyCommaList)
+{
+    WorkloadSpec w = WorkloadSpec::parse("mcf,lbm");
+    EXPECT_EQ(w.name, "mcf,lbm");
+    ASSERT_EQ(w.numCores(), 2u);
+    EXPECT_EQ(w.parts[0].profile, "mcf");
+    EXPECT_EQ(w.parts[1].profile, "lbm");
+}
+
+TEST(WorkloadSpec, SpecPrefixNormalizesToLegacyName)
+{
+    // The display name drives SweepRunner::pointSeed and every output
+    // filename: prefixed spellings must collapse onto the legacy name
+    // so existing results and seeds are reproducible.
+    EXPECT_EQ(WorkloadSpec::parse("spec:mcf").name, "mcf");
+    EXPECT_EQ(WorkloadSpec::parse("synth:mcf").name, "mcf");
+    EXPECT_EQ(WorkloadSpec::parse("spec:M2").name, "M2");
+    EXPECT_EQ(WorkloadSpec::parse("mix:spec:mcf,spec:lbm").name,
+              "mcf,lbm");
+    EXPECT_EQ(WorkloadSpec::parse("mix:mcf,lbm").name, "mcf,lbm");
+}
+
+TEST(WorkloadSpec, SpecMixExpandsToFourCores)
+{
+    WorkloadSpec legacy = WorkloadSpec::parse("M2");
+    WorkloadSpec prefixed = WorkloadSpec::parse("spec:M2");
+    ASSERT_EQ(prefixed.numCores(), legacy.numCores());
+    for (unsigned i = 0; i < legacy.numCores(); ++i)
+        EXPECT_EQ(prefixed.parts[i].profile, legacy.parts[i].profile);
+}
+
+TEST(WorkloadSpec, FileElementDefaults)
+{
+    WorkloadSpec w = WorkloadSpec::parse("file:/tmp/foo.trace");
+    // File specs keep the original text as the display name.
+    EXPECT_EQ(w.name, "file:/tmp/foo.trace");
+    ASSERT_EQ(w.numCores(), 1u);
+    const WorkloadPart &p = w.parts[0];
+    EXPECT_TRUE(p.isFile());
+    EXPECT_EQ(p.path, "/tmp/foo.trace");
+    EXPECT_EQ(p.format, TraceFormat::Auto);
+    EXPECT_TRUE(p.loop);
+    EXPECT_EQ(p.shard, 0u);
+    EXPECT_EQ(p.shardCount, 1u);
+}
+
+TEST(WorkloadSpec, FileElementOptions)
+{
+    WorkloadSpec w = WorkloadSpec::parse(
+        "file:/tmp/foo.trace:format=dramsim3:loop=0:cores=2");
+    ASSERT_EQ(w.numCores(), 2u);
+    for (unsigned i = 0; i < 2; ++i) {
+        const WorkloadPart &p = w.parts[i];
+        EXPECT_EQ(p.path, "/tmp/foo.trace");
+        EXPECT_EQ(p.format, TraceFormat::Dramsim3);
+        EXPECT_FALSE(p.loop);
+        EXPECT_EQ(p.shard, i);
+        EXPECT_EQ(p.shardCount, 2u);
+    }
+}
+
+TEST(WorkloadSpec, FilePathMayContainColons)
+{
+    // Everything up to the first key=value token is the path.
+    WorkloadSpec w = WorkloadSpec::parse("file:dir:odd.trace:loop=1");
+    ASSERT_EQ(w.numCores(), 1u);
+    EXPECT_EQ(w.parts[0].path, "dir:odd.trace");
+    EXPECT_TRUE(w.parts[0].loop);
+}
+
+TEST(WorkloadSpec, MixOfFilesAndProfiles)
+{
+    WorkloadSpec w =
+        WorkloadSpec::parse("mix:spec:mcf,file:/tmp/a.trace");
+    ASSERT_EQ(w.numCores(), 2u);
+    EXPECT_EQ(w.parts[0].profile, "mcf");
+    EXPECT_TRUE(w.parts[1].isFile());
+}
+
+TEST(WorkloadSpec, RejectsMalformedSpecs)
+{
+    EXPECT_NE(parseError("").find("empty"), std::string::npos);
+    EXPECT_NE(parseError("nosuchbench").find("nosuchbench"),
+              std::string::npos);
+    EXPECT_NE(parseError("M9").find("M9"), std::string::npos);
+    EXPECT_NE(parseError("spec:nosuch").find("nosuch"),
+              std::string::npos);
+    // A nested mix is not a per-core element.
+    EXPECT_FALSE(parseError("mix:mix:mcf,lbm").empty());
+    // File options are validated at parse time.
+    EXPECT_FALSE(parseError("file:x.trace:format=bogus").empty());
+    EXPECT_FALSE(parseError("file:x.trace:loop=2").empty());
+    EXPECT_FALSE(parseError("file:x.trace:cores=0").empty());
+    EXPECT_FALSE(parseError("file:").empty());
+}
+
+TEST(WorkloadSpec, ParseFatalsOnBadSpec)
+{
+    EXPECT_DEATH(WorkloadSpec::parse("nosuchbench"), "nosuchbench");
+}
+
+TEST(WorkloadSpec, MixIndexOutOfRangeFatals)
+{
+    EXPECT_DEATH(WorkloadSpec::mix(99), "out of range");
+}
+
+TEST(WorkloadSpec, BuildTracesKeepsSyntheticStreamIdentity)
+{
+    // The per-(seed, core) stream identity is load-bearing: it is what
+    // keeps the golden stats and every recorded sweep reproducible.
+    const std::uint64_t seed = 42, row = 8192, line = 64;
+    WorkloadSpec w = WorkloadSpec::parse("mcf,lbm");
+    auto traces = buildTraces(w, seed, row, line);
+    ASSERT_EQ(traces.size(), 2u);
+
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+        SyntheticTrace ref(specProfile(w.parts[i].profile),
+                           seed * 1000003 + i * 7919 + 1, row, line);
+        for (int n = 0; n < 200; ++n) {
+            TraceEntry a{}, b{};
+            ASSERT_TRUE(traces[i]->next(a));
+            ASSERT_TRUE(ref.next(b));
+            EXPECT_EQ(a.gap, b.gap);
+            EXPECT_EQ(a.addr, b.addr);
+            EXPECT_EQ(a.isWrite, b.isWrite);
+        }
+    }
+}
+
+TEST(WorkloadSpec, SingleAndMixFactories)
+{
+    WorkloadSpec s = WorkloadSpec::single("mcf");
+    EXPECT_EQ(s.name, "mcf");
+    EXPECT_EQ(s.numCores(), 1u);
+
+    WorkloadSpec m = WorkloadSpec::mix(0);
+    EXPECT_EQ(m.name, "M1");
+    EXPECT_EQ(m.numCores(), 4u);
+}

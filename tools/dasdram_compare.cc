@@ -21,10 +21,10 @@
  */
 
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "common/cli.hh"
 #include "common/jsonl_diff.hh"
 
 using namespace dasdram;
@@ -32,42 +32,34 @@ using namespace dasdram;
 int
 main(int argc, char **argv)
 {
-    std::string file_a, file_b;
-    double tolerance = 0.0;
-    bool quiet = false;
+    CliParser cli("dasdram_compare",
+                  "diff two JSONL sweep-result files (exit 0 equal, "
+                  "1 differences, 2 usage/parse errors)");
+    cli.optionDouble("--tolerance", "REL",
+                     "symmetric relative tolerance (default 0 = exact)")
+        .flag("--quiet", "no per-field output, just the exit status")
+        .positionals("jsonl-file", "the two files to compare", 2, 2);
 
-    std::vector<std::string> positional;
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        if (arg == "--tolerance") {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "missing value for --tolerance\n");
-                return 2;
-            }
-            tolerance = std::strtod(argv[++i], nullptr);
-        } else if (arg == "--quiet") {
-            quiet = true;
-        } else if (arg == "--help" || arg == "-h") {
-            std::printf("usage: dasdram_compare A.jsonl B.jsonl "
-                        "[--tolerance REL] [--quiet]\n");
-            return 0;
-        } else if (!arg.empty() && arg[0] == '-') {
-            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
-            return 2;
-        } else {
-            positional.push_back(arg);
-        }
-    }
-    if (positional.size() != 2) {
-        std::fprintf(stderr, "usage: dasdram_compare A.jsonl B.jsonl "
-                             "[--tolerance REL] [--quiet]\n");
+    // A usage error (including a malformed --tolerance number, which
+    // the parser rejects) is exit status 2, not 1 — 1 means "compared
+    // and found differences".
+    std::string err;
+    if (!cli.tryParse(argc, argv, err)) {
+        std::fprintf(stderr, "dasdram_compare: %s\n%s", err.c_str(),
+                     cli.usage().c_str());
         return 2;
     }
-    file_a = positional[0];
-    file_b = positional[1];
+    if (cli.helpRequested()) {
+        std::fputs(cli.usage().c_str(), stdout);
+        return 0;
+    }
+
+    double tolerance = cli.dbl("--tolerance", 0.0);
+    bool quiet = cli.given("--quiet");
+    std::string file_a = cli.positionalValues()[0];
+    std::string file_b = cli.positionalValues()[1];
 
     JsonlRecordMap a, b;
-    std::string err;
     if (!loadJsonlRecords(file_a, a, &err) ||
         !loadJsonlRecords(file_b, b, &err)) {
         std::fprintf(stderr, "dasdram_compare: %s\n", err.c_str());

@@ -14,6 +14,8 @@
  *   dasdram_fuzz --trace-out t.json --filter das/migrate-heavy
  *   dasdram_fuzz --engine event        # horizon-skipping harness
  *   dasdram_fuzz --differential        # run tick AND event, diff them
+ *   dasdram_fuzz --workload spec:mcf   # trace-driven addresses
+ *   dasdram_fuzz --workload file:t.trace --filter das/base
  *
  * --trace-cmds appends every issued command of every matching case as
  * text; --trace-out writes a Chrome trace_event JSON timeline of the
@@ -23,117 +25,63 @@
  */
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <string>
 
+#include "common/cli.hh"
 #include "common/log.hh"
 #include "dram/trace_json.hh"
 #include "sim/fuzz.hh"
 
 using namespace dasdram;
 
-namespace
-{
-
-void
-usage(const char *argv0)
-{
-    std::printf(
-        "usage: %s [options]\n"
-        "  --seed N          base seed the per-case seeds derive from "
-        "(default 42)\n"
-        "  --requests N      demand requests per case (default 2000)\n"
-        "  --filter STR      only run cases whose name contains STR\n"
-        "  --trace-cmds FILE also write every issued command to FILE\n"
-        "  --trace-out FILE  write a Chrome trace_event JSON timeline "
-        "of the\n"
-        "                    first matching case to FILE (use --filter "
-        "to pick it)\n"
-        "  --engine E        harness engine: tick (walk every memory "
-        "cycle,\n"
-        "                    the default) or event (skip to controller "
-        "horizons)\n"
-        "  --differential    run every matching case through BOTH "
-        "engines and\n"
-        "                    fail on any divergence (reports, command "
-        "traces)\n"
-        "  --list            print case names and per-case seeds, then "
-        "exit\n"
-        "  --quiet           only report failures and the final "
-        "summary\n",
-        argv0);
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
-    std::uint64_t base_seed = 42;
-    unsigned requests = 2000;
-    std::string filter;
-    std::string trace_path;
-    std::string chrome_path;
-    SimEngine engine = SimEngine::Tick;
-    bool differential = false;
-    bool list_only = false;
-    bool quiet = false;
+    CliParser cli("dasdram_fuzz",
+                  "deterministic DRAM protocol fuzzer over the designs "
+                  "x controller-corners grid");
+    cli.optionUInt("--seed", "N",
+                   "base seed the per-case seeds derive from "
+                   "(default 42)")
+        .optionUInt("--requests", "N",
+                    "demand requests per case (default 2000)")
+        .option("--filter", "STR",
+                "only run cases whose name contains STR")
+        .option("--workload", "SPEC",
+                "drive addresses from a workload spec (synthetic "
+                "profile or file: trace) instead of the row picker")
+        .option("--trace-cmds", "FILE",
+                "also write every issued command to FILE")
+        .option("--trace-out", "FILE",
+                "Chrome trace_event JSON timeline of the first matching "
+                "case (use --filter to pick it)")
+        .option("--engine", "E",
+                "harness engine: tick (walk every memory cycle, the "
+                "default) or event (skip to controller horizons)")
+        .flag("--differential",
+              "run every matching case through BOTH engines and fail "
+              "on any divergence")
+        .flag("--list",
+              "print case names and per-case seeds, then exit")
+        .flag("--quiet",
+              "only report failures and the final summary");
+    cli.parse(argc, argv);
 
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        // Accept --flag=value as well as --flag value.
-        std::string inline_value;
-        bool has_inline = false;
-        if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-') {
-            if (std::size_t eq = arg.find('=');
-                eq != std::string::npos) {
-                inline_value = arg.substr(eq + 1);
-                arg.erase(eq);
-                has_inline = true;
-            }
-        }
-        auto need_value = [&](const char *flag) -> std::string {
-            if (has_inline) {
-                has_inline = false;
-                return inline_value;
-            }
-            if (i + 1 >= argc)
-                fatal("missing value for {}", flag);
-            return argv[++i];
-        };
-        if (arg == "--seed") {
-            base_seed = std::strtoull(need_value("--seed").c_str(),
-                                      nullptr, 10);
-        } else if (arg == "--requests") {
-            requests = static_cast<unsigned>(std::strtoul(
-                need_value("--requests").c_str(), nullptr, 10));
-            if (requests == 0)
-                fatal("--requests needs a positive integer");
-        } else if (arg == "--filter") {
-            filter = need_value("--filter");
-        } else if (arg == "--trace-cmds") {
-            trace_path = need_value("--trace-cmds");
-        } else if (arg == "--trace-out") {
-            chrome_path = need_value("--trace-out");
-        } else if (arg == "--engine") {
-            engine = parseEngine(need_value("--engine"));
-        } else if (arg == "--differential") {
-            differential = true;
-        } else if (arg == "--list") {
-            list_only = true;
-        } else if (arg == "--quiet") {
-            quiet = true;
-        } else if (arg == "--help" || arg == "-h") {
-            usage(argv[0]);
-            return 0;
-        } else {
-            fatal("unknown argument '{}' (try --help)", arg);
-        }
-        if (has_inline)
-            fatal("'{}' takes no value", arg);
-    }
+    std::uint64_t base_seed = cli.uns("--seed", 42);
+    auto requests = static_cast<unsigned>(cli.uns("--requests", 2000));
+    if (requests == 0)
+        fatal("--requests needs a positive integer");
+    std::string filter = cli.str("--filter");
+    std::string workload = cli.str("--workload");
+    std::string trace_path = cli.str("--trace-cmds");
+    std::string chrome_path = cli.str("--trace-out");
+    SimEngine engine = cli.given("--engine")
+                           ? parseEngine(cli.str("--engine"))
+                           : SimEngine::Tick;
+    bool differential = cli.given("--differential");
+    bool list_only = cli.given("--list");
+    bool quiet = cli.given("--quiet");
 
     std::ofstream trace_os;
     std::unique_ptr<CommandTrace> trace;
@@ -154,6 +102,9 @@ main(int argc, char **argv)
             continue;
         }
         c.engine = engine;
+        c.workload = workload;
+        std::string replay_wl =
+            workload.empty() ? "" : " --workload '" + workload + "'";
         if (differential) {
             FuzzDifferential d = runFuzzDifferential(c);
             ++ran;
@@ -182,10 +133,10 @@ main(int argc, char **argv)
                 std::printf("     event first violation: %s\n",
                             d.event.firstViolation.c_str());
             std::printf("     replay: %s --seed %llu --requests %u "
-                        "--differential --filter '%s'\n",
+                        "--differential --filter '%s'%s\n",
                         argv[0],
                         static_cast<unsigned long long>(base_seed),
-                        requests, c.name.c_str());
+                        requests, c.name.c_str(), replay_wl.c_str());
             continue;
         }
         if (trace)
@@ -236,10 +187,11 @@ main(int argc, char **argv)
         if (!rep.firstViolation.empty())
             std::printf("     first: %s\n", rep.firstViolation.c_str());
         std::printf("     replay: %s --seed %llu --requests %u "
-                    "--engine %s --filter '%s'\n",
+                    "--engine %s --filter '%s'%s\n",
                     argv[0],
                     static_cast<unsigned long long>(base_seed),
-                    requests, toString(engine), rep.name.c_str());
+                    requests, toString(engine), rep.name.c_str(),
+                    replay_wl.c_str());
     }
 
     if (list_only)

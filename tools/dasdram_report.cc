@@ -32,13 +32,13 @@
  */
 
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/cli.hh"
 #include "common/json.hh"
 #include "common/log.hh"
 
@@ -203,49 +203,23 @@ checkTrace(const std::string &path)
 int
 main(int argc, char **argv)
 {
-    std::vector<std::string> paths;
-    std::vector<std::string> metrics;
-    std::string check_path;
-    bool list_only = false;
+    CliParser cli("dasdram_report",
+                  "render stats-JSONL dumps as a comparison table "
+                  "(see the header of tools/dasdram_report.cc)");
+    cli.option("--metric", "NAME",
+               "add one column per occurrence: the named record's "
+               "headline value (see --list)")
+        .option("--check-trace", "FILE",
+                "validate FILE as Chrome trace_event JSON instead")
+        .flag("--list",
+              "print every record of every file instead of the table")
+        .positionals("stats-jsonl", "stats-JSONL dumps to tabulate", 0);
+    cli.parse(argc, argv);
 
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        std::string inline_value;
-        bool has_inline = false;
-        if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-') {
-            if (std::size_t eq = arg.find('=');
-                eq != std::string::npos) {
-                inline_value = arg.substr(eq + 1);
-                arg.erase(eq);
-                has_inline = true;
-            }
-        }
-        auto need_value = [&](const char *flag) -> std::string {
-            if (has_inline) {
-                has_inline = false;
-                return inline_value;
-            }
-            if (i + 1 >= argc)
-                fatal("missing value for {}", flag);
-            return argv[++i];
-        };
-        if (arg == "--metric") {
-            metrics.push_back(need_value("--metric"));
-        } else if (arg == "--check-trace") {
-            check_path = need_value("--check-trace");
-        } else if (arg == "--list") {
-            list_only = true;
-        } else if (arg == "--help" || arg == "-h") {
-            std::printf("see the header of tools/dasdram_report.cc\n");
-            return 0;
-        } else if (!arg.empty() && arg[0] == '-') {
-            fatal("unknown argument '{}'", arg);
-        } else {
-            paths.push_back(arg);
-        }
-        if (has_inline)
-            fatal("'{}' takes no value", arg);
-    }
+    const std::vector<std::string> &paths = cli.positionalValues();
+    const std::vector<std::string> &metrics = cli.strs("--metric");
+    std::string check_path = cli.str("--check-trace");
+    bool list_only = cli.given("--list");
 
     if (!check_path.empty())
         return checkTrace(check_path);

@@ -2,64 +2,36 @@
  * @file
  * dasdram_run — command-line front-end for the simulator.
  *
- * Runs any workload (a Table 2 benchmark, a mix M1-M8, or a
- * comma-separated list of benchmarks, one per core) on any DRAM design
- * with arbitrary configuration overrides, and reports either a
- * human-readable summary, a full statistics dump, or a CSV row for
- * scripting.
+ * Runs any workload spec (see src/workload/workload_spec.hh: synthetic
+ * Table 2 benchmarks and mixes, external trace files, or mixes of
+ * both) on any DRAM design with arbitrary configuration overrides, and
+ * reports either a human-readable summary, a full statistics dump, or
+ * a CSV row for scripting.
  *
- * Usage:
- *   dasdram_run [options]
- *     --workload <name|M1..M8|b1,b2,...>   (default: mcf)
- *     --design <standard|sas|charm|das|das-fm|fs>  (default: das)
- *     --instructions <N per core>          (default: 4000000)
- *     --baseline                           also run standard DRAM and
- *                                          report the improvement
- *     --stats                              dump the full stats tree
- *     --csv                                one CSV row to stdout
- *     --json <file>                        append-free JSONL export of
- *                                          every point that ran
- *     --jobs <N>                           worker threads for the
- *                                          sweep (default: DAS_JOBS
- *                                          env, else hardware); with
- *                                          --baseline the baseline and
- *                                          the design run in parallel
- *     --seed <N>                           workload seed
- *     --engine <tick|event>                simulation engine (default:
- *                                          event). The event engine
- *                                          skips provably idle cycles
- *                                          and is bit-identical to the
- *                                          tick reference (enforced by
- *                                          ctest -L differential); use
- *                                          --engine tick for the oracle
- *     --check / --no-check                 enable/disable the online
- *                                          DRAM protocol checker
- *                                          (default: enabled; a
- *                                          violation aborts the run)
- *     --trace-cmds <file>                  write every DRAM command the
- *                                          controller issues to <file>
- *                                          as one text line per command
- *                                          (runs the point directly,
- *                                          like --stats)
- *     --trace-out <file>                   write a Chrome trace_event
- *                                          JSON timeline (one track per
- *                                          bank, migration spans,
- *                                          promotion instants) to
- *                                          <file>; open it in
- *                                          chrome://tracing or Perfetto
- *     --stats-out <file>                   write the schema-versioned
- *                                          stats JSONL dump (latency
- *                                          histograms with p50/p99,
- *                                          epoch series) to <file>;
- *                                          feed it to dasdram_report
- *     --epoch <N>                          epoch length of the stats
- *                                          time-series in memory cycles
- *                                          (default 0 = no series)
- *     --set key=value                      config override, repeatable:
- *         das.threshold, das.tcBytes, das.replacement, das.exclusive,
- *         layout.groupSize, layout.fastRatioDenom, sim.warmup
+ * Usage: dasdram_run [options] — every value-taking option also
+ * accepts the --flag=value spelling; see --help for the full list.
  *
- * Every value-taking option also accepts the --flag=value spelling.
+ * Workload specs (--workload):
+ *   mcf              synthetic SPEC profile (legacy spelling)
+ *   spec:mcf         same, explicit
+ *   M3 / spec:M3     a Table 2 four-core mix
+ *   mcf,lbm          one profile per core (legacy spelling)
+ *   file:t.trace     stream an external trace (ramulator, dramsim3 or
+ *                    dasdram-binary format, auto-detected; .gz works
+ *                    when the build found zlib)
+ *   file:t.trace:cores=4   round-robin-shard one trace over 4 cores
+ *   mix:spec:mcf,file:t.trace   per-core elements
+ *
+ * Configuration files (--config/--dump-config): --dump-config prints
+ * the complete effective configuration as JSON and exits; --config
+ * FILE loads such a file as the new defaults (command-line flags still
+ * override it). Round trip: dasdram_run --seed 7 --dump-config > c.json
+ * && dasdram_run --config c.json runs the same point.
+ *
+ * Trace recording (--record): re-runs the point directly (like
+ * --stats) with every core's delivered trace captured to
+ * <prefix>.core<i>.dastrace; replay with --workload file:<that file>.
+ * The static-design profiling pre-pass is excluded from the capture.
  *
  * --trace-cmds and --trace-out are independent sinks over the same
  * command stream: both may be given at once (the controller fans out
@@ -74,48 +46,23 @@
  */
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/cli.hh"
 #include "common/config.hh"
 #include "common/log.hh"
 #include "sim/experiment.hh"
 #include "sim/sweep.hh"
+#include "workload/trace_file.hh"
 
 using namespace dasdram;
 
 namespace
 {
-
-WorkloadSpec
-parseWorkload(const std::string &name)
-{
-    if (name.size() == 2 && name[0] == 'M' && name[1] >= '1' &&
-        name[1] <= '8') {
-        return WorkloadSpec::mix(static_cast<std::size_t>(name[1] - '1'));
-    }
-    if (name.find(',') == std::string::npos)
-        return WorkloadSpec::single(name);
-    WorkloadSpec w;
-    w.name = name;
-    std::size_t pos = 0;
-    while (pos != std::string::npos) {
-        std::size_t comma = name.find(',', pos);
-        std::string bench =
-            comma == std::string::npos
-                ? name.substr(pos)
-                : name.substr(pos, comma - pos);
-        if (!bench.empty())
-            w.benchmarks.push_back(bench);
-        pos = comma == std::string::npos ? comma : comma + 1;
-    }
-    if (w.benchmarks.empty())
-        fatal("empty workload list '{}'", name);
-    return w;
-}
 
 void
 applyOverrides(SimConfig &cfg, const Config &overrides)
@@ -148,7 +95,7 @@ printSummary(const WorkloadSpec &w, const ExperimentResult &r,
     std::printf("design    : %s\n", toString(r.design).c_str());
     for (std::size_t i = 0; i < m.ipc.size(); ++i) {
         std::printf("ipc[%zu]    : %.4f  (%s)\n", i, m.ipc[i],
-                    w.benchmarks[i].c_str());
+                    w.parts[i].label().c_str());
     }
     if (with_baseline)
         std::printf("speedup   : %+.2f%% vs standard DRAM\n",
@@ -195,107 +142,93 @@ printCsv(const WorkloadSpec &w, const ExperimentResult &r,
 int
 main(int argc, char **argv)
 {
-    std::string workload = "mcf";
-    std::string design = "das";
-    InstCount instructions = 4'000'000;
-    bool with_baseline = false;
-    bool dump_stats = false;
-    bool csv = false;
-    std::uint64_t seed = 42;
-    unsigned jobs = 0;
-    std::string json_path;
-    std::string trace_path;
-    std::string trace_out;
-    std::string stats_out;
-    Cycle epoch = 0;
-    bool protocol_check = true;
-    SimEngine engine = SimEngine::Event;
-    Config overrides;
-
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        // Accept --flag=value as well as --flag value. Split at the
-        // first '=' only, so --set=key=value keeps its key=value part.
-        std::string inline_value;
-        bool has_inline = false;
-        if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-') {
-            if (std::size_t eq = arg.find('=');
-                eq != std::string::npos) {
-                inline_value = arg.substr(eq + 1);
-                arg.erase(eq);
-                has_inline = true;
-            }
-        }
-        auto need_value = [&](const char *flag) -> std::string {
-            if (has_inline) {
-                has_inline = false;
-                return inline_value;
-            }
-            if (i + 1 >= argc)
-                fatal("missing value for {}", flag);
-            return argv[++i];
-        };
-        if (arg == "--workload") {
-            workload = need_value("--workload");
-        } else if (arg == "--design") {
-            design = need_value("--design");
-        } else if (arg == "--instructions") {
-            instructions = std::strtoull(
-                need_value("--instructions").c_str(), nullptr, 0);
-        } else if (arg == "--seed") {
-            seed = std::strtoull(need_value("--seed").c_str(), nullptr,
-                                 0);
-        } else if (arg == "--engine") {
-            engine = parseEngine(need_value("--engine"));
-        } else if (arg == "--jobs") {
-            jobs = static_cast<unsigned>(std::strtoul(
-                need_value("--jobs").c_str(), nullptr, 10));
-            if (jobs == 0)
-                fatal("--jobs needs a positive integer");
-        } else if (arg == "--json") {
-            json_path = need_value("--json");
-        } else if (arg == "--check") {
-            protocol_check = true;
-        } else if (arg == "--no-check") {
-            protocol_check = false;
-        } else if (arg == "--trace-cmds") {
-            trace_path = need_value("--trace-cmds");
-        } else if (arg == "--trace-out") {
-            trace_out = need_value("--trace-out");
-        } else if (arg == "--stats-out") {
-            stats_out = need_value("--stats-out");
-        } else if (arg == "--epoch") {
-            epoch = std::strtoull(need_value("--epoch").c_str(),
-                                  nullptr, 10);
-        } else if (arg == "--baseline") {
-            with_baseline = true;
-        } else if (arg == "--stats") {
-            dump_stats = true;
-        } else if (arg == "--csv") {
-            csv = true;
-        } else if (arg == "--set") {
-            if (!overrides.applyOverride(need_value("--set")))
-                fatal("malformed --set argument (need key=value)");
-        } else if (arg == "--help" || arg == "-h") {
-            std::printf("see the header of tools/dasdram_run.cc\n");
-            return 0;
-        } else {
-            fatal("unknown argument '{}'", arg);
-        }
-        if (has_inline)
-            fatal("'{}' takes no value", arg);
-    }
+    CliParser cli("dasdram_run",
+                  "run one workload on one DRAM design (see the header "
+                  "of tools/dasdram_run.cc)");
+    cli.option("--workload", "SPEC",
+               "workload spec: name|M1..M8|b1,b2,..|spec:..|file:..|"
+               "mix:.. (default mcf)")
+        .option("--design", "D",
+                "standard|sas|charm|das|das-fm|fs (default das)")
+        .optionUInt("--instructions", "N",
+                    "instructions per core (default 4000000)")
+        .optionUInt("--seed", "N", "workload seed (default 42)")
+        .option("--engine", "E", "tick|event (default event)")
+        .optionUInt("--jobs", "N",
+                    "worker threads (default: DAS_JOBS env, else "
+                    "hardware)")
+        .option("--json", "FILE", "JSONL export of every point that ran")
+        .toggle("--check", "online DRAM protocol checker (default on)")
+        .option("--trace-cmds", "FILE",
+                "write every issued DRAM command as text (direct rerun)")
+        .option("--trace-out", "FILE",
+                "Chrome trace_event JSON timeline (direct rerun)")
+        .option("--stats-out", "FILE",
+                "schema-versioned stats JSONL dump (direct rerun)")
+        .option("--record", "PREFIX",
+                "capture each core's trace to PREFIX.core<i>.dastrace "
+                "(direct rerun)")
+        .optionUInt("--epoch", "N",
+                    "stats time-series epoch in memory cycles (0 = off)")
+        .flag("--baseline",
+              "also run standard DRAM and report the improvement")
+        .flag("--stats", "dump the full stats tree (direct rerun)")
+        .flag("--csv", "one CSV row to stdout")
+        .option("--config", "FILE",
+                "load a JSON configuration (flags still override)")
+        .flag("--dump-config",
+              "print the effective configuration as JSON and exit")
+        .option("--set", "key=value",
+                "config override, repeatable: das.threshold, "
+                "das.tcBytes, das.replacement, das.exclusive, "
+                "layout.groupSize, layout.fastRatioDenom, sim.warmup");
+    cli.parse(argc, argv);
 
     SimConfig cfg;
-    cfg.instructionsPerCore = instructions;
-    cfg.seed = seed;
-    cfg.engine = engine;
-    cfg.protocolCheck = protocol_check;
+    cfg.instructionsPerCore = 4'000'000;
+    if (cli.given("--config")) {
+        std::ifstream is(cli.str("--config"));
+        if (!is)
+            fatal("cannot open '{}'", cli.str("--config"));
+        std::ostringstream ss;
+        ss << is.rdbuf();
+        cfg = configFromJson(ss.str(), cfg);
+    }
+    if (cli.given("--workload"))
+        cfg.workload = cli.str("--workload");
+    if (cli.given("--design"))
+        cfg.design = parseDesign(cli.str("--design"));
+    if (cli.given("--instructions"))
+        cfg.instructionsPerCore = cli.uns("--instructions", 0);
+    if (cli.given("--seed"))
+        cfg.seed = cli.uns("--seed", 0);
+    if (cli.given("--engine"))
+        cfg.engine = parseEngine(cli.str("--engine"));
+    if (cli.given("--epoch"))
+        cfg.obs.epochMemCycles = cli.uns("--epoch", 0);
+    cfg.protocolCheck = cli.enabled("--check", cfg.protocolCheck);
+
+    unsigned jobs = static_cast<unsigned>(cli.uns("--jobs", 0));
+    if (cli.given("--jobs") && jobs == 0)
+        fatal("--jobs needs a positive integer");
+
     applySimScale(cfg);
+    Config overrides;
+    for (const std::string &kv : cli.strs("--set")) {
+        if (!overrides.applyOverride(kv))
+            fatal("malformed --set argument (need key=value)");
+    }
     applyOverrides(cfg, overrides);
 
-    WorkloadSpec w = parseWorkload(workload);
-    DesignKind kind = parseDesign(design);
+    if (cli.given("--dump-config")) {
+        std::printf("%s\n", configToJson(cfg).c_str());
+        return 0;
+    }
+
+    WorkloadSpec w = WorkloadSpec::parse(cfg.workload);
+    DesignKind kind = cfg.design;
+    bool with_baseline = cli.given("--baseline");
+    bool csv = cli.given("--csv");
 
     // Every run goes through the sweep engine; with --baseline the
     // standard point and the design point are two grid points, so
@@ -313,10 +246,10 @@ main(int argc, char **argv)
     std::vector<ExperimentResult> results = sweep.run();
     const ExperimentResult &r = results[result_index];
 
-    if (!json_path.empty()) {
-        std::ofstream os(json_path);
+    if (cli.given("--json")) {
+        std::ofstream os(cli.str("--json"));
         if (!os)
-            fatal("cannot open '{}' for writing", json_path);
+            fatal("cannot open '{}' for writing", cli.str("--json"));
         writeJsonLines(os, results);
     }
 
@@ -326,28 +259,37 @@ main(int argc, char **argv)
         printSummary(w, r, with_baseline || csv, cfg.geom);
     }
 
-    if (dump_stats || !trace_path.empty() || !trace_out.empty() ||
-        !stats_out.empty()) {
+    std::string trace_path = cli.str("--trace-cmds");
+    std::string trace_out = cli.str("--trace-out");
+    std::string stats_out = cli.str("--stats-out");
+    std::string record_prefix = cli.str("--record");
+    if (cli.given("--stats") || !trace_path.empty() ||
+        !trace_out.empty() || !stats_out.empty() ||
+        !record_prefix.empty()) {
         // Re-run with direct System access for the stats tree, the
-        // command trace and/or the observability exports, using the
-        // same effective seed as the sweep point above so the dumps
-        // match the summary.
+        // command trace, the observability exports and/or the trace
+        // recording, using the same effective seed as the sweep point
+        // above so the dumps match the summary.
         SimConfig scfg = cfg;
         scfg.design = kind;
         scfg.seed = SweepRunner::pointSeed(cfg.seed, w.name, kind);
-        scfg.numCores = static_cast<unsigned>(w.benchmarks.size());
+        scfg.numCores = w.numCores();
         scfg.obs.workloadName = w.name;
         scfg.obs.statsOut = stats_out;
         scfg.obs.traceOut = trace_out;
-        scfg.obs.epochMemCycles = epoch;
-        std::vector<std::unique_ptr<SyntheticTrace>> traces;
+        auto traces = buildTraces(w, scfg.seed, scfg.geom.rowBytes,
+                                  scfg.geom.lineBytes);
+        std::vector<std::unique_ptr<TraceRecorder>> recorders;
         std::vector<TraceSource *> ptrs;
         for (unsigned i = 0; i < scfg.numCores; ++i) {
-            traces.push_back(std::make_unique<SyntheticTrace>(
-                specProfile(w.benchmarks[i]),
-                scfg.seed * 1000003 + i * 7919 + 1, scfg.geom.rowBytes,
-                scfg.geom.lineBytes));
-            ptrs.push_back(traces.back().get());
+            TraceSource *src = traces[i].get();
+            if (!record_prefix.empty()) {
+                recorders.push_back(std::make_unique<TraceRecorder>(
+                    *src, formatStr("{}.core{}.dastrace",
+                                    record_prefix, i)));
+                src = recorders.back().get();
+            }
+            ptrs.push_back(src);
         }
         System sys(scfg, ptrs);
         std::ofstream trace_os;
@@ -358,7 +300,11 @@ main(int argc, char **argv)
             sys.attachCommandTrace(trace_os);
         }
         sys.run();
-        if (dump_stats)
+        for (auto &rec : recorders) {
+            rec->close();
+            inform("recorded {} trace record(s)", rec->recorded());
+        }
+        if (cli.given("--stats"))
             sys.dumpStats(std::cout);
     }
     return 0;
