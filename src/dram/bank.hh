@@ -21,11 +21,24 @@ namespace dasdram
  * One DRAM bank. The owning channel controller is responsible for
  * rank-level (tRRD/tFAW/refresh) and channel-level (bus) constraints;
  * the bank tracks only its own state and earliest-allowed times.
+ *
+ * Every state transition (ACT/PRE/RD/WR, reservation, refresh, reset)
+ * bumps a monotone version counter. The controller keys its cached
+ * earliest-command-ready cycles on these versions, so a cache entry is
+ * valid exactly while the bank state it was derived from is unchanged.
  */
 class Bank
 {
   public:
     explicit Bank(const DramTiming &timing) : timing_(&timing) {}
+
+    /**
+     * Monotone state-version counter: incremented by every mutator
+     * (activate, precharge, read, write, reserve, refresh, reset).
+     * Readiness caches derived from this bank's state are valid iff
+     * the version they were computed at still matches.
+     */
+    std::uint64_t version() const { return version_; }
 
     /** True iff a row is latched in the row buffer. */
     bool hasOpenRow() const { return hasOpenRow_; }
@@ -56,6 +69,22 @@ class Bank
     {
         return reserved(now) && row >= resRowLo_ && row < resRowHi_ &&
                row != resExemptA_ && row != resExemptB_;
+    }
+
+    /**
+     * Absolute (now-free) form of rowBlocked: the cycle until which
+     * @p row is held by the bank's reservation range, 0 when the row
+     * is outside it or exempt. Once the reservation has expired the
+     * returned cycle is in the past, so callers clamping against
+     * "now + 1" need no freshness check — the stale bound is harmless.
+     */
+    Cycle
+    blockedUntil(std::uint64_t row) const
+    {
+        return (row >= resRowLo_ && row < resRowHi_ &&
+                row != resExemptA_ && row != resExemptB_)
+                   ? reservedUntil_
+                   : 0;
     }
 
     /// @name Command legality (bank-local constraints only)
@@ -140,6 +169,8 @@ class Bank
 
   private:
     const DramTiming *timing_;
+
+    std::uint64_t version_ = 0;
 
     bool hasOpenRow_ = false;
     std::uint64_t openRow_ = 0;

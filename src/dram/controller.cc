@@ -137,6 +137,7 @@ ChannelController::enqueue(std::unique_ptr<MemRequest> req, Cycle now)
         panic("request routed to wrong channel");
     req->arrivalTick = now;
     const bool is_write = req->isWrite;
+    ++chanVer_; // queue membership changed: cached queue horizon stale
     if (is_write)
         writeQueue_.push_back(std::move(req));
     else
@@ -415,6 +416,7 @@ ChannelController::tryColumn(MemRequest &req, Cycle now)
         return false;
 
     // Issue the column command.
+    ++busVer_; // bus state below changes: bus-keyed caches stale
     nextColAllowedAt_ = now + timing_->tCCD;
     lastBusRank_ = static_cast<int>(req.loc.rank);
     lastBusWasWrite_ = req.isWrite;
@@ -471,6 +473,7 @@ ChannelController::issueColumnFor(
     }
     std::unique_ptr<MemRequest> owned = std::move(queue[i]);
     queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(i));
+    ++chanVer_; // queue membership changed
     Cycle end = owned->completionTick;
     if (owned->isWrite) {
         finish(std::move(owned), end, ServiceLocation::RowBuffer);
@@ -558,21 +561,32 @@ ChannelController::issueFromQueue(
     if (queue.empty())
         return false;
 
+    // Batched scan: a request whose cached ready cycle has not arrived
+    // provably fails every scheduling check below, so both passes skip
+    // it on an O(1) comparison. The cache is keyed on the bank/rank/bus
+    // versions, so only requests whose target bank's (or the bus's)
+    // readiness actually changed are re-examined in full.
     if (cfg_.sched == SchedPolicy::FrFcfs) {
         // Pass 1: oldest ready row hit.
         for (std::size_t i = 0; i < queue.size(); ++i) {
-            if (issueColumnFor(queue, i, now))
+            if (requestMaybeIssuable(*queue[i], now) &&
+                issueColumnFor(queue, i, now)) {
                 return true;
+            }
         }
         // Pass 2: oldest request that can make row-level progress.
         for (auto &reqp : queue) {
-            if (tryRowCommand(*reqp, now))
+            if (requestMaybeIssuable(*reqp, now) &&
+                tryRowCommand(*reqp, now)) {
                 return true;
+            }
         }
         return false;
     }
 
     // Strict FCFS: only the oldest request may issue anything.
+    if (!requestMaybeIssuable(*queue.front(), now))
+        return false;
     if (issueColumnFor(queue, 0, now))
         return true;
     return tryRowCommand(*queue.front(), now);
@@ -602,11 +616,16 @@ ChannelController::tick(Cycle now)
     }
 
     if (!issued) {
-        auto &primary = drainingWrites_ ? writeQueue_ : readQueue_;
-        auto &secondary = drainingWrites_ ? readQueue_ : writeQueue_;
-        issued = issueFromQueue(primary, now);
-        if (!issued)
-            issued = issueFromQueue(secondary, now);
+        // The rollup cache knows the earliest cycle any queued request
+        // could issue; below it both queue scans are provably fruitless.
+        refreshHorizonCaches(now);
+        if (queuePathMin_ <= now) {
+            auto &primary = drainingWrites_ ? writeQueue_ : readQueue_;
+            auto &secondary = drainingWrites_ ? readQueue_ : writeQueue_;
+            issued = issueFromQueue(primary, now);
+            if (!issued)
+                issued = issueFromQueue(secondary, now);
+        }
     }
 
     // Closed-page: precharge one bank with no pending work for its
@@ -614,6 +633,9 @@ ChannelController::tick(Cycle now)
     // single command per channel per cycle, and it is already taken
     // when something issued above.
     if (cfg_.page == PagePolicy::Closed && !issued) {
+        refreshHorizonCaches(now);
+        if (preMinReady_ > now)
+            return;
         for (unsigned ri = 0; ri < ranks_.size() && !issued; ++ri) {
             Rank &rank = ranks_[ri];
             for (unsigned bi = 0; bi < rank.numBanks() && !issued;
@@ -643,10 +665,66 @@ ChannelController::tick(Cycle now)
 }
 
 Cycle
-ChannelController::requestWakeCycle(const MemRequest &req, Cycle now) const
+ChannelController::requestReadyAt(const MemRequest &req) const
 {
     const Rank &rank = ranks_[req.loc.rank];
     const Bank &bank = rank.bank(req.loc.bank);
+
+    MemRequest::SchedCache &sc = req.sched;
+    if (sc.bankVer == bank.version() && sc.rankVer == rank.version() &&
+        (sc.busVer == busVer_ ||
+         sc.busVer == MemRequest::SchedCache::kBusAny)) {
+        return sc.readyAt;
+    }
+
+    // ACT and conflict-PRE bounds never touch the bus state, so their
+    // entries carry kBusAny and survive the column-issue churn that
+    // bumps busVer_ every few cycles under load.
+    std::uint64_t bus_key = MemRequest::SchedCache::kBusAny;
+    Cycle t;
+    if (!bank.hasOpenRow()) {
+        // ACT path. Refresh-due gating is covered by the refresh term
+        // of nextWakeCycle (nextRefreshAt precedes any due window).
+        t = std::max(bank.actAllowedAt(), rank.activateAllowedAt());
+    } else if (bank.openRow() != req.loc.row) {
+        // Conflict-PRE path. Pending hits to the open row may hold the
+        // PRE back further; those requests contribute their own (column)
+        // horizons, so this bound is merely early, never late.
+        t = bank.preAllowedAt();
+    } else {
+        bus_key = busVer_;
+        // Column path: bank CAS window, channel tCCD, tWTR (reads), and
+        // the data bus with any rank/direction switch penalty — the same
+        // constraints tryColumn checks, inverted into an earliest cycle.
+        t = std::max(bank.columnAllowedAt(), nextColAllowedAt_);
+        Cycle cas;
+        if (req.isWrite) {
+            cas = timing_->tCWL;
+        } else {
+            t = std::max(t, rank.readAllowedAt());
+            cas = timing_->array(bank.openRowClass()).tCL;
+        }
+        Cycle bus_ready = dataBusFreeAt_;
+        if (lastBusRank_ >= 0 &&
+            (static_cast<unsigned>(lastBusRank_) != req.loc.rank ||
+             lastBusWasWrite_ != req.isWrite)) {
+            bus_ready += timing_->tRTRS;
+        }
+        if (bus_ready > t + cas)
+            t = bus_ready - cas;
+    }
+
+    sc.readyAt = t;
+    sc.bankVer = bank.version();
+    sc.rankVer = rank.version();
+    sc.busVer = bus_key;
+    return t;
+}
+
+Cycle
+ChannelController::requestWakeCycle(const MemRequest &req, Cycle now) const
+{
+    const Bank &bank = bankOf(req);
 
     // Blocked by a migration reservation: nothing can issue for this
     // request before the reservation ends. (reserved(now) implies
@@ -654,42 +732,68 @@ ChannelController::requestWakeCycle(const MemRequest &req, Cycle now) const
     if (bank.rowBlocked(now, req.loc.row))
         return bank.reservedUntil();
 
-    Cycle t = now + 1;
-    if (!bank.hasOpenRow()) {
-        // ACT path. Refresh-due gating is covered by the refresh term
-        // of nextWakeCycle (nextRefreshAt precedes any due window).
-        t = std::max(t, bank.actAllowedAt());
-        t = std::max(t, rank.activateAllowedAt());
-        return t;
-    }
-    if (bank.openRow() != req.loc.row) {
-        // Conflict-PRE path. Pending hits to the open row may hold the
-        // PRE back further; those requests contribute their own (column)
-        // horizons, so this bound is merely early, never late.
-        return std::max(t, bank.preAllowedAt());
-    }
+    return std::max(now + 1, requestReadyAt(req));
+}
 
-    // Column path: bank CAS window, channel tCCD, tWTR (reads), and
-    // the data bus with any rank/direction switch penalty — the same
-    // constraints tryColumn checks, inverted into an earliest cycle.
-    t = std::max(t, bank.columnAllowedAt());
-    t = std::max(t, nextColAllowedAt_);
-    Cycle cas;
-    if (req.isWrite) {
-        cas = timing_->tCWL;
-    } else {
-        t = std::max(t, rank.readAllowedAt());
-        cas = timing_->array(bank.openRowClass()).tCL;
+bool
+ChannelController::requestMaybeIssuable(const MemRequest &req,
+                                        Cycle now) const
+{
+    const Bank &bank = bankOf(req);
+    if (bank.rowBlocked(now, req.loc.row))
+        return false;
+    return requestReadyAt(req) <= now;
+}
+
+std::uint64_t
+ChannelController::stateSignature() const
+{
+    std::uint64_t sig = chanVer_ + busVer_;
+    for (const Rank &r : ranks_) {
+        sig += r.version();
+        for (unsigned bi = 0; bi < r.numBanks(); ++bi)
+            sig += r.bank(bi).version();
     }
-    Cycle bus_ready = dataBusFreeAt_;
-    if (lastBusRank_ >= 0 &&
-        (static_cast<unsigned>(lastBusRank_) != req.loc.rank ||
-         lastBusWasWrite_ != req.isWrite)) {
-        bus_ready += timing_->tRTRS;
+    return sig;
+}
+
+void
+ChannelController::refreshHorizonCaches(Cycle now) const
+{
+    const std::uint64_t sig = stateSignature();
+    // Valid while no state transition happened AND the earliest
+    // reservation blocking a queued request has not expired (expiry
+    // flips that request to the path side without any version bump).
+    if (sig == horizonSig_ && now < queueBlockedMin_)
+        return;
+
+    horizonSig_ = sig;
+    queuePathMin_ = kCycleMax;
+    queueBlockedMin_ = kCycleMax;
+    auto scan = [&](const std::vector<std::unique_ptr<MemRequest>> &q) {
+        for (const auto &r : q) {
+            const Bank &bank = bankOf(*r);
+            if (bank.rowBlocked(now, r->loc.row)) {
+                queueBlockedMin_ =
+                    std::min(queueBlockedMin_, bank.reservedUntil());
+            } else {
+                queuePathMin_ =
+                    std::min(queuePathMin_, requestReadyAt(*r));
+            }
+        }
+    };
+    scan(readQueue_);
+    scan(writeQueue_);
+
+    preMinReady_ = kCycleMax;
+    if (cfg_.page == PagePolicy::Closed) {
+        for (const Rank &rank : ranks_) {
+            for (unsigned bi = 0; bi < rank.numBanks(); ++bi) {
+                preMinReady_ = std::min(
+                    preMinReady_, rank.bank(bi).prechargeReadyAt());
+            }
+        }
     }
-    if (bus_ready > t + cas)
-        t = bus_ready - cas;
-    return t;
 }
 
 Cycle
@@ -713,22 +817,36 @@ ChannelController::nextWakeCycle(Cycle now) const
         for (const Rank &r : ranks_)
             next = std::min(next, r.nextRefreshAt());
     }
-    for (const auto &r : readQueue_)
-        next = std::min(next, requestWakeCycle(*r, now));
-    for (const auto &r : writeQueue_)
-        next = std::min(next, requestWakeCycle(*r, now));
+
+    // Queue terms, from the rollup caches. Exactly the per-request
+    // min the full scan produces: min over unblocked requests of
+    // max(now + 1, readyAt) factors through max(now + 1, min readyAt),
+    // and blocked requests contribute their reservation's end.
+    refreshHorizonCaches(now);
+    if (queueBlockedMin_ != kCycleMax)
+        next = std::min(next, queueBlockedMin_);
+    if (queuePathMin_ != kCycleMax)
+        next = std::min(next, std::max(now + 1, queuePathMin_));
+
     // Closed-page policy precharges idle open banks even with empty
     // queues; without this term those PREs would be skipped over.
-    if (cfg_.page == PagePolicy::Closed) {
-        for (const Rank &rank : ranks_) {
-            for (unsigned bi = 0; bi < rank.numBanks(); ++bi) {
-                Cycle pre = rank.bank(bi).prechargeReadyAt();
-                if (pre != kCycleMax)
-                    next = std::min(next, std::max(now + 1, pre));
-            }
-        }
-    }
+    if (cfg_.page == PagePolicy::Closed && preMinReady_ != kCycleMax)
+        next = std::min(next, std::max(now + 1, preMinReady_));
     return next;
+}
+
+bool
+ChannelController::parallelSafeThrough(Cycle hi) const
+{
+    if (!writeQueue_.empty())
+        return false; // writes fire their callback at WR issue time
+    if (!completions_.empty() && completions_.top().at <= hi)
+        return false;
+    for (const auto &m : activeMigrations_) {
+        if (m.first <= hi)
+            return false;
+    }
+    return true;
 }
 
 bool

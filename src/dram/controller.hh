@@ -157,6 +157,18 @@ class ChannelController
     /** Outstanding work (queues, in-flight, migrations)? */
     bool busy() const;
 
+    /**
+     * True iff this channel provably cannot interact with anything
+     * outside itself through cycle @p hi inclusive: no read completion
+     * or migration completion callback fires at or before @p hi and no
+     * write is queued (writes complete — and fire their callback — at
+     * WR issue time). DramSystem's deterministic per-channel threading
+     * only advances channels concurrently over spans that every channel
+     * reports safe, so callbacks always run on the caller's thread in
+     * serial order.
+     */
+    bool parallelSafeThrough(Cycle hi) const;
+
     /** Attach (or detach with nullptr) the command observer. */
     void setCommandSink(CommandSink *sink) { sink_ = sink; }
 
@@ -219,11 +231,53 @@ class ChannelController
     bool tryRowCommand(MemRequest &req, Cycle now);
 
     /**
+     * Absolute lower bound on the cycle at which @p req could issue its
+     * next command — column, ACT or conflict PRE — derived from the
+     * current bank/rank/bus state. Cached in req.sched keyed on the
+     * three state versions; any command touching them recomputes it.
+     * The bound is now-free: callers clamp with max(now + 1, bound),
+     * which provably equals the per-cycle evaluation at every now while
+     * the state is unchanged.
+     */
+    Cycle requestReadyAt(const MemRequest &req) const;
+
+    /**
      * Lower bound (> @p now) on the cycle at which @p req could issue
      * its next command — column, ACT or conflict PRE — assuming no
      * other command issues first (any such issue re-runs the horizon).
      */
     Cycle requestWakeCycle(const MemRequest &req, Cycle now) const;
+
+    /**
+     * Cheap necessary condition for @p req issuing any command at
+     * @p now: not reservation-blocked and its cached absolute ready
+     * cycle has arrived. False lets the batched queue scan skip the
+     * request without re-running the full scheduling checks — sound
+     * because the bound is never late, exact because the full checks
+     * still run when it passes.
+     */
+    bool requestMaybeIssuable(const MemRequest &req, Cycle now) const;
+
+    /**
+     * Monotone signature of every piece of state the cached queue and
+     * precharge horizons depend on: the channel version (queue
+     * membership), the bus version, and all rank and bank versions.
+     * Each term only ever increments, so the sum strictly increases on
+     * any transition — two distinct states never alias.
+     */
+    std::uint64_t stateSignature() const;
+
+    /**
+     * Recompute the rollup horizon caches if stateSignature() moved or
+     * the earliest reservation blocking a queued request expired: the
+     * minimum absolute ready cycle over unblocked requests of both
+     * queues (reusing every per-request cache whose versions still
+     * match), the earliest end of a reservation blocking a queued
+     * request, and the earliest closed-page precharge. O(1) when
+     * nothing changed. Like nextWakeCycle, assumes @p now does not
+     * decrease between state transitions.
+     */
+    void refreshHorizonCaches(Cycle now) const;
 
     /** Fire callback and destroy @p req (ownership in @p owner). */
     void finish(std::unique_ptr<MemRequest> req, Cycle at,
@@ -265,6 +319,28 @@ class ChannelController
     Cycle nextColAllowedAt_ = 0;
     int lastBusRank_ = -1;
     bool lastBusWasWrite_ = false;
+
+    /// @name Readiness-cache bookkeeping
+    /// @{
+
+    /** Bumped whenever the bus state above changes (column issue). */
+    std::uint64_t busVer_ = 0;
+    /** Bumped whenever queue membership changes (enqueue/dequeue). */
+    std::uint64_t chanVer_ = 0;
+
+    /** Signature the rollup caches below were computed at. */
+    mutable std::uint64_t horizonSig_ = ~std::uint64_t{0};
+    /** Min absolute ready cycle over queued requests not blocked by a
+     *  reservation (kCycleMax: none). */
+    mutable Cycle queuePathMin_ = kCycleMax;
+    /** Min reservation end over blocked queued requests (kCycleMax:
+     *  none). Doubles as the caches' validity horizon: when now
+     *  reaches it the blocked/unblocked partition changes without a
+     *  version bump, so the caches are recomputed. */
+    mutable Cycle queueBlockedMin_ = kCycleMax;
+    /** Earliest closed-page PRE over open banks (kCycleMax: none). */
+    mutable Cycle preMinReady_ = kCycleMax;
+    /// @}
 
     /// @name Statistics
     /// @{

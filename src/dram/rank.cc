@@ -39,6 +39,7 @@ Rank::recordActivate(Cycle now)
 {
     if (!canActivate(now))
         panic("Rank::recordActivate violates tRRD/tFAW at cycle {}", now);
+    ++version_;
     actTimes_[actHead_] = now;
     actHead_ = (actHead_ + 1) % actTimes_.size();
     lastActAt_ = now;
@@ -48,6 +49,7 @@ Rank::recordActivate(Cycle now)
 void
 Rank::recordWriteBurst(Cycle burst_end)
 {
+    ++version_;
     readAllowedAt_ = std::max(readAllowedAt_, burst_end + timing_->tWTR);
 }
 
@@ -66,6 +68,7 @@ Rank::refresh(Cycle now)
 {
     if (!allBanksIdle(now))
         panic("Rank::refresh with open or reserved banks at cycle {}", now);
+    ++version_;
     Cycle done = now + timing_->tRFC;
     for (Bank &b : banks_)
         b.refresh(done);

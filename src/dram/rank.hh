@@ -30,6 +30,13 @@ class Rank
     const Bank &bank(unsigned i) const { return banks_[i]; }
     unsigned numBanks() const { return static_cast<unsigned>(banks_.size()); }
 
+    /**
+     * Monotone version counter over the rank-wide timing state
+     * (tRRD/tFAW window, tWTR, refresh schedule). Does not cover the
+     * banks — each Bank carries its own version().
+     */
+    std::uint64_t version() const { return version_; }
+
     /// @name Activation window (tRRD / tFAW)
     /// @{
     bool canActivate(Cycle now) const;
@@ -81,6 +88,7 @@ class Rank
     Cycle readAllowedAt_ = 0;
     Cycle nextRefreshAt_;
     std::uint64_t refreshCount_ = 0;
+    std::uint64_t version_ = 0;
 };
 
 } // namespace dasdram

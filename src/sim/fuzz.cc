@@ -86,6 +86,7 @@ runProtocolFuzz(const FuzzCase &c, const DramTiming &dut,
 
     DramSystem dram(c.geom, dut, cls, c.ctrl, c.mapping);
     dram.setCommandSink(&fanout);
+    dram.setChannelThreads(c.channelThreads);
 
     FuzzReport rep;
     rep.name = c.name;
@@ -218,9 +219,9 @@ runProtocolFuzz(const FuzzCase &c, const DramTiming &dut,
         if (!event || injected || mem_cycle + 1 >= next_wake_mem) {
             dram.tick(now_tick);
             if (event) {
-                Cycle w = dram.nextWakeTick(now_tick);
-                next_wake_mem =
-                    w == kCycleMax ? kCycleMax : w / kMemTick;
+                // now_tick is (mem_cycle + 1) * kMemTick here, so this
+                // probes the horizon from the next memory cycle.
+                next_wake_mem = dram.nextWakeMemCycle(now_tick / kMemTick);
             }
             if (rep.submitted >= c.requests &&
                 rep.completed >= rep.submitted && !dram.busy()) {
@@ -275,17 +276,47 @@ diffTraces(std::string &detail, const std::string &tick,
     detail = "traces differ (whitespace only?)";
 }
 
+/** First mismatch between two full runs (all report fields + traces). */
+void
+diffRuns(std::string &detail, const FuzzReport &a, const FuzzReport &b,
+         const std::string &trace_a, const std::string &trace_b)
+{
+    diffField(detail, "commands", a.commands, b.commands);
+    diffField(detail, "violations", a.violations, b.violations);
+    diffField(detail, "firstViolation", a.firstViolation,
+              b.firstViolation);
+    diffField(detail, "submitted", a.submitted, b.submitted);
+    diffField(detail, "completed", a.completed, b.completed);
+    diffField(detail, "migrationsStarted", a.migrationsStarted,
+              b.migrationsStarted);
+    diffField(detail, "migrationsDone", a.migrationsDone,
+              b.migrationsDone);
+    diffField(detail, "drained", a.drained, b.drained);
+    diffTraces(detail, trace_a, trace_b);
+}
+
 } // namespace
 
 FuzzDifferential
 runFuzzDifferential(const FuzzCase &c)
 {
+    return runFuzzDifferential(c, {c.channelThreads});
+}
+
+FuzzDifferential
+runFuzzDifferential(const FuzzCase &c,
+                    const std::vector<unsigned> &thread_counts)
+{
     const DesignSpec &spec = designSpec(c.design);
     const DramTiming t = ddr3_1600Timing(spec.charmColumnOpt);
+    const std::vector<unsigned> threads =
+        thread_counts.empty() ? std::vector<unsigned>{1} : thread_counts;
 
-    auto run_one = [&](SimEngine engine, std::string &trace_text) {
+    auto run_one = [&](SimEngine engine, unsigned nthreads,
+                       std::string &trace_text) {
         FuzzCase one = c;
         one.engine = engine;
+        one.channelThreads = nthreads;
         std::ostringstream os;
         CommandTrace trace(os);
         FuzzReport rep = runProtocolFuzz(one, t, t, &trace);
@@ -293,24 +324,30 @@ runFuzzDifferential(const FuzzCase &c)
         return rep;
     };
 
+    // The tick engine at the first thread count is the reference every
+    // other (engine, threads) combination must match byte-for-byte.
     FuzzDifferential d;
-    std::string tick_trace, event_trace;
-    d.tick = run_one(SimEngine::Tick, tick_trace);
-    d.event = run_one(SimEngine::Event, event_trace);
-
-    diffField(d.detail, "commands", d.tick.commands, d.event.commands);
-    diffField(d.detail, "violations", d.tick.violations,
-              d.event.violations);
-    diffField(d.detail, "firstViolation", d.tick.firstViolation,
-              d.event.firstViolation);
-    diffField(d.detail, "submitted", d.tick.submitted, d.event.submitted);
-    diffField(d.detail, "completed", d.tick.completed, d.event.completed);
-    diffField(d.detail, "migrationsStarted", d.tick.migrationsStarted,
-              d.event.migrationsStarted);
-    diffField(d.detail, "migrationsDone", d.tick.migrationsDone,
-              d.event.migrationsDone);
-    diffField(d.detail, "drained", d.tick.drained, d.event.drained);
-    diffTraces(d.detail, tick_trace, event_trace);
+    std::string ref_trace;
+    d.tick = run_one(SimEngine::Tick, threads.front(), ref_trace);
+    bool have_event = false;
+    for (SimEngine engine : {SimEngine::Tick, SimEngine::Event}) {
+        for (unsigned n : threads) {
+            if (engine == SimEngine::Tick && n == threads.front())
+                continue;
+            std::string trace;
+            FuzzReport rep = run_one(engine, n, trace);
+            if (engine == SimEngine::Event && !have_event) {
+                d.event = rep;
+                have_event = true;
+            }
+            std::string detail;
+            diffRuns(detail, d.tick, rep, ref_trace, trace);
+            if (!detail.empty() && d.detail.empty()) {
+                d.detail = formatStr("{}/threads={}: {}",
+                                     toString(engine), n, detail);
+            }
+        }
+    }
     d.identical = d.detail.empty();
     return d;
 }

@@ -67,6 +67,14 @@ struct FuzzCase
      * (it is the oracle side of the differential mode).
      */
     SimEngine engine = SimEngine::Tick;
+
+    /**
+     * DramSystem channel-threading width (clamped to the channel
+     * count). Results are bit-identical for every value by
+     * construction; the differential mode crosses engines against
+     * thread counts to enforce exactly that.
+     */
+    unsigned channelThreads = 1;
 };
 
 /** Outcome of one fuzz case. */
@@ -125,6 +133,18 @@ struct FuzzDifferential
  * protocol violation in either run — is reported in `detail`.
  */
 FuzzDifferential runFuzzDifferential(const FuzzCase &c);
+
+/**
+ * Extended differential oracle crossing engines against channel-thread
+ * counts: every (engine, threads) combination from {tick, event} ×
+ * @p thread_counts runs with the same seed and is compared — reports
+ * and full command traces — against the tick run at the first thread
+ * count. `detail` names the first diverging combination. The returned
+ * `tick`/`event` reports are the two runs at the first thread count.
+ */
+FuzzDifferential
+runFuzzDifferential(const FuzzCase &c,
+                    const std::vector<unsigned> &thread_counts);
 
 /**
  * The standard fuzz grid: designs (standard/sas/charm/das/das-fm/fs) ×

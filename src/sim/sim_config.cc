@@ -169,6 +169,7 @@ configToJson(const SimConfig &cfg)
     w.field("coreStrideBytes", cfg.coreStride);
     w.field("protocolCheck", cfg.protocolCheck);
     w.field("mshrsPerCore", cfg.mshrsPerCore);
+    w.field("channelThreads", cfg.channelThreads);
 
     w.key("core").beginObject();
     w.field("issueWidth", cfg.core.issueWidth);
@@ -259,6 +260,7 @@ configFromJson(const std::string &text, SimConfig base)
     r.uns("coreStrideBytes", cfg.coreStride);
     r.boolean("protocolCheck", cfg.protocolCheck);
     r.uns("mshrsPerCore", cfg.mshrsPerCore);
+    r.uns("channelThreads", cfg.channelThreads);
 
     if (const JsonValue *v = r.section("core")) {
         ObjReader s(*v, "config.core");

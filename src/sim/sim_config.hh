@@ -120,6 +120,13 @@ struct SimConfig
     /** MSHR entries (outstanding line fills) per core. */
     unsigned mshrsPerCore = 32;
 
+    /**
+     * Threads used by DramSystem::tick to advance channels (clamped to
+     * the channel count; 1 = fully serial). Any value produces
+     * bit-identical results — see DramSystem::setChannelThreads.
+     */
+    unsigned channelThreads = 1;
+
     /** Histograms, epoch series and export files. */
     ObservabilityConfig obs{};
 

@@ -73,6 +73,7 @@ System::System(const SimConfig &cfg, std::vector<TraceSource *> traces)
     cfg_.ctrl.histograms = cfg_.obs.histograms;
     dram_ = std::make_unique<DramSystem>(cfg_.geom, timing_, cls,
                                          cfg_.ctrl);
+    dram_->setChannelThreads(cfg_.channelThreads);
     if (cfg_.protocolCheck) {
         // The checker gets the same row-class oracle as the controller,
         // so the class stamped on every ACT is cross-checked, and an

@@ -59,9 +59,13 @@ main(int argc, char **argv)
         .option("--engine", "E",
                 "harness engine: tick (walk every memory cycle, the "
                 "default) or event (skip to controller horizons)")
+        .option("--channel-threads", "N[,N...]",
+                "DramSystem channel-threading width (default 1); with "
+                "--differential, a comma list crosses every count "
+                "against both engines")
         .flag("--differential",
-              "run every matching case through BOTH engines and fail "
-              "on any divergence")
+              "run every matching case through BOTH engines (and every "
+              "--channel-threads count) and fail on any divergence")
         .flag("--list",
               "print case names and per-case seeds, then exit")
         .flag("--quiet",
@@ -83,6 +87,34 @@ main(int argc, char **argv)
     bool list_only = cli.given("--list");
     bool quiet = cli.given("--quiet");
 
+    // --channel-threads: a single count for plain runs; a comma list
+    // crosses all of them against both engines under --differential.
+    std::vector<unsigned> thread_counts{1};
+    if (cli.given("--channel-threads")) {
+        thread_counts.clear();
+        std::string spec = cli.str("--channel-threads");
+        std::size_t pos = 0;
+        while (pos <= spec.size()) {
+            std::size_t comma = spec.find(',', pos);
+            std::string tok = spec.substr(
+                pos, comma == std::string::npos ? comma : comma - pos);
+            if (tok.empty() || tok.find_first_not_of("0123456789") !=
+                                   std::string::npos) {
+                fatal("--channel-threads needs positive integers, "
+                      "got '{}'", spec);
+            }
+            unsigned n = static_cast<unsigned>(std::stoul(tok));
+            if (n == 0)
+                fatal("--channel-threads needs positive integers");
+            thread_counts.push_back(n);
+            if (comma == std::string::npos)
+                break;
+            pos = comma + 1;
+        }
+        if (thread_counts.size() > 1 && !differential)
+            fatal("a --channel-threads list requires --differential");
+    }
+
     std::ofstream trace_os;
     std::unique_ptr<CommandTrace> trace;
     if (!trace_path.empty()) {
@@ -103,19 +135,21 @@ main(int argc, char **argv)
         }
         c.engine = engine;
         c.workload = workload;
+        c.channelThreads = thread_counts.front();
         std::string replay_wl =
             workload.empty() ? "" : " --workload '" + workload + "'";
         if (differential) {
-            FuzzDifferential d = runFuzzDifferential(c);
+            FuzzDifferential d = runFuzzDifferential(c, thread_counts);
             ++ran;
             if (d.ok()) {
                 if (!quiet) {
                     std::printf("ok   %-24s seed=%llu commands=%llu "
-                                "(tick == event)\n",
+                                "(tick == event x %zu thread count(s))\n",
                                 c.name.c_str(),
                                 static_cast<unsigned long long>(c.seed),
                                 static_cast<unsigned long long>(
-                                    d.tick.commands));
+                                    d.tick.commands),
+                                thread_counts.size());
                 }
                 continue;
             }
@@ -132,11 +166,19 @@ main(int argc, char **argv)
             if (!d.event.firstViolation.empty())
                 std::printf("     event first violation: %s\n",
                             d.event.firstViolation.c_str());
+            std::string replay_threads;
+            for (unsigned n : thread_counts) {
+                replay_threads += replay_threads.empty()
+                                      ? " --channel-threads "
+                                      : ",";
+                replay_threads += std::to_string(n);
+            }
             std::printf("     replay: %s --seed %llu --requests %u "
-                        "--differential --filter '%s'%s\n",
+                        "--differential --filter '%s'%s%s\n",
                         argv[0],
                         static_cast<unsigned long long>(base_seed),
-                        requests, c.name.c_str(), replay_wl.c_str());
+                        requests, c.name.c_str(), replay_wl.c_str(),
+                        replay_threads.c_str());
             continue;
         }
         if (trace)

@@ -170,6 +170,9 @@ main(int argc, char **argv)
                 "(direct rerun)")
         .optionUInt("--epoch", "N",
                     "stats time-series epoch in memory cycles (0 = off)")
+        .optionUInt("--channel-threads", "N",
+                    "threads advancing DRAM channels inside the memory "
+                    "clock (bit-identical results; default 1)")
         .flag("--baseline",
               "also run standard DRAM and report the improvement")
         .flag("--stats", "dump the full stats tree (direct rerun)")
@@ -206,6 +209,12 @@ main(int argc, char **argv)
         cfg.engine = parseEngine(cli.str("--engine"));
     if (cli.given("--epoch"))
         cfg.obs.epochMemCycles = cli.uns("--epoch", 0);
+    if (cli.given("--channel-threads")) {
+        cfg.channelThreads =
+            static_cast<unsigned>(cli.uns("--channel-threads", 0));
+        if (cfg.channelThreads == 0)
+            fatal("--channel-threads needs a positive integer");
+    }
     cfg.protocolCheck = cli.enabled("--check", cfg.protocolCheck);
 
     unsigned jobs = static_cast<unsigned>(cli.uns("--jobs", 0));
