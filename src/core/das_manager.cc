@@ -101,7 +101,7 @@ DasManager::resetStats()
 
 void
 DasManager::access(Addr addr, bool is_write, int core, DoneFn done,
-                   Cycle now)
+                   Cycle now, std::unique_ptr<RequestSpan> span)
 {
     DramLoc loc = dram_->decode(addr);
     PendingAccess acc;
@@ -112,6 +112,7 @@ DasManager::access(Addr addr, bool is_write, int core, DoneFn done,
                                   loc.bank, loc.row);
     acc.readyTick = now;
     acc.done = std::move(done);
+    acc.span = std::move(span);
 
     demandAccesses_.inc();
     if (is_write)
@@ -119,6 +120,8 @@ DasManager::access(Addr addr, bool is_write, int core, DoneFn done,
     touchedRows_.insert(acc.logical);
 
     if (cfg_.mode != ManagementMode::Dynamic) {
+        if (acc.span)
+            acc.span->transDoneTick = now;
         trySubmit(std::move(acc), now);
         return;
     }
@@ -126,6 +129,10 @@ DasManager::access(Addr addr, bool is_write, int core, DoneFn done,
     // Dynamic: resolve the translation. The tag-cache lookup overlaps
     // the LLC access that produced this miss, so a hit costs nothing.
     if (tc_->lookup(acc.logical)) {
+        if (acc.span) {
+            acc.span->trans = TranslationPath::TagCache;
+            acc.span->transDoneTick = now;
+        }
         trySubmit(std::move(acc), now);
         return;
     }
@@ -140,9 +147,16 @@ DasManager::access(Addr addr, bool is_write, int core, DoneFn done,
         // walks for bursts to newly touched rows.
         tc_->insert(acc.logical);
         acc.readyTick = now + cfg_.llcLatencyTicks;
+        if (acc.span) {
+            acc.span->trans = TranslationPath::LlcWalk;
+            acc.span->transDoneTick = acc.readyTick;
+        }
         trySubmit(std::move(acc), now);
         return;
     }
+
+    if (acc.span)
+        acc.span->trans = TranslationPath::DramWalk;
 
     // Full walk: fetch the table line from DRAM, then proceed. Walks
     // to the same table line coalesce on the in-flight fetch.
@@ -154,7 +168,11 @@ DasManager::access(Addr addr, bool is_write, int core, DoneFn done,
     DramLoc tloc = dram_->decode(tline);
     if (!dram_->canAccept(tloc, /*is_write=*/false)) {
         // Channel full: retry the whole translation from tick(). The
-        // walk latency of this rare case is under-charged; acceptable.
+        // walk latency of this rare case is under-charged; acceptable
+        // (the span's transDoneTick is stamped now, matching the
+        // timing model's undercharge).
+        if (acc.span)
+            acc.span->transDoneTick = now;
         pending_.push_back(std::move(acc));
         return;
     }
@@ -162,6 +180,22 @@ DasManager::access(Addr addr, bool is_write, int core, DoneFn done,
     auto req = std::make_unique<MemRequest>(tline, /*write=*/false, -1);
     req->isTableAccess = true;
     req->loc = tloc;
+    if (tracer_) {
+        // The walk is controller-visible traffic of its own: give it
+        // its own sampling decision so rate-1.0 span streams cover
+        // every request the latency histograms cover.
+        req->span = tracer_->maybeStart();
+        if (req->span) {
+            RequestSpan &ts = *req->span;
+            ts.isTableWalk = true;
+            ts.core = -1;
+            ts.addr = tline;
+            ts.issueTick = now;
+            ts.missTick = now;
+            ts.transDoneTick = now;
+            ts.submitTick = now;
+        }
+    }
     req->onComplete = [this, tline](MemRequest &treq, Cycle at) {
         // Install the table line in the LLC for later walks and release
         // every access waiting on it.
@@ -170,6 +204,8 @@ DasManager::access(Addr addr, bool is_write, int core, DoneFn done,
         for (PendingAccess &waiting : node.mapped()) {
             tc_->insert(waiting.logical);
             waiting.readyTick = at;
+            if (waiting.span)
+                waiting.span->transDoneTick = at;
             pending_.push_back(std::move(waiting));
         }
     };
@@ -202,6 +238,9 @@ DasManager::submitReady(PendingAccess &&acc, Cycle now)
                                             acc.core);
     req->loc = loc;
     req->logicalRow = acc.logical;
+    req->span = std::move(acc.span);
+    if (req->span)
+        req->span->submitTick = now;
     DoneFn done = std::move(acc.done);
     req->onComplete = [this, done = std::move(done)](MemRequest &r,
                                                      Cycle at) {

@@ -27,6 +27,7 @@
 #include "core/translation_cache.hh"
 #include "core/translation_table.hh"
 #include "dram/dram_system.hh"
+#include "mem/request_trace.hh"
 
 namespace dasdram
 {
@@ -103,8 +104,14 @@ class DasManager
      * DRAM always takes time; but forwarded reads may complete at a
      * near tick). Writes may pass a no-op @p done.
      */
+    /**
+     * @p span, when non-null, is the lifecycle record of a sampled
+     * request: the manager stamps the translation stage onto it and
+     * hands it to the MemRequest when the access is submitted to
+     * DRAM. Strictly observational.
+     */
     void access(Addr addr, bool is_write, int core, DoneFn done,
-                Cycle now);
+                Cycle now, std::unique_ptr<RequestSpan> span = {});
 
     /** Retry deferred submissions; call whenever the system ticks. */
     void tick(Cycle now);
@@ -139,6 +146,14 @@ class DasManager
      * promotion decisions (trace export). Zero cost when null.
      */
     void setEventSink(TraceEventSink *sink) { events_ = sink; }
+
+    /**
+     * Attach (or detach with nullptr) the request tracer used to
+     * sample the manager's own DRAM traffic (translation-table
+     * walks), so rate-1.0 span streams cover every controller-visible
+     * request. Demand accesses are sampled by the caller (System).
+     */
+    void setRequestTracer(RequestTracer *tracer) { tracer_ = tracer; }
     /// @}
 
   private:
@@ -151,6 +166,7 @@ class DasManager
         GlobalRowId logical = 0;
         Cycle readyTick = 0;
         DoneFn done;
+        std::unique_ptr<RequestSpan> span; ///< sampled requests only
     };
 
     /** Perform translation timing; returns extra delay in ticks, or
@@ -177,6 +193,7 @@ class DasManager
     std::unique_ptr<FastSlotReplacement> repl_;
 
     TraceEventSink *events_ = nullptr;
+    RequestTracer *tracer_ = nullptr;
 
     std::deque<PendingAccess> pending_;
     /** In-flight table-line walks: accesses waiting on the same line. */

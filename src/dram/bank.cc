@@ -69,6 +69,7 @@ Bank::reserve(Cycle now, Cycle duration, std::uint64_t row_lo,
     }
     ++version_;
     reservedUntil_ = now + duration;
+    reservedBusyTotal_ += duration;
     resRowLo_ = row_lo;
     resRowHi_ = row_hi;
     resExemptA_ = exempt_a;
@@ -95,6 +96,7 @@ Bank::reset()
     preAllowedAt_ = 0;
     colAllowedAt_ = 0;
     reservedUntil_ = 0;
+    reservedBusyTotal_ = 0;
     resRowLo_ = 0;
     resRowHi_ = 0;
     resExemptA_ = kAddrInvalid;

@@ -56,6 +56,22 @@ class Bank
     Cycle reservedUntil() const { return reservedUntil_; }
 
     /**
+     * Cumulative cycles this bank has spent reserved by migrations up
+     * to cycle @p t (the part of an in-flight reservation past @p t
+     * is excluded). Monotone in @p t; the difference of two snapshots
+     * is exactly the reservation busy time inside the window, which
+     * is what the request tracer uses for migration blame. @p t must
+     * not precede the start of the current reservation (queries are
+     * always made at the controller's current cycle).
+     */
+    Cycle
+    reservedBusyUpTo(Cycle t) const
+    {
+        Cycle pending = reservedUntil_ > t ? reservedUntil_ - t : 0;
+        return reservedBusyTotal_ - pending;
+    }
+
+    /**
      * True iff @p row is inside the row range held by an active
      * migration (its two subarrays). Rows outside the range stay
      * accessible: the migration uses the subarray-local row buffers
@@ -180,6 +196,7 @@ class Bank
     Cycle preAllowedAt_ = 0;
     Cycle colAllowedAt_ = 0;
     Cycle reservedUntil_ = 0;
+    Cycle reservedBusyTotal_ = 0;
     std::uint64_t resRowLo_ = 0;
     std::uint64_t resRowHi_ = 0;
     std::uint64_t resExemptA_ = kAddrInvalid;

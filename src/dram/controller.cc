@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "mem/request_trace.hh"
 
 namespace dasdram
 {
@@ -14,6 +15,7 @@ ChannelController::ChannelController(unsigned channel_id,
                                      const ControllerConfig &cfg)
     : channelId_(channel_id), geom_(geom), timing_(&timing),
       classifier_(&classifier), cfg_(cfg), sink_(cfg.cmdSink),
+      spanSink_(cfg.spanSink),
       statGroup_("channel" + std::to_string(channel_id))
 {
     ranks_.reserve(geom.ranksPerChannel);
@@ -136,6 +138,8 @@ ChannelController::enqueue(std::unique_ptr<MemRequest> req, Cycle now)
     if (req->loc.channel != channelId_)
         panic("request routed to wrong channel");
     req->arrivalTick = now;
+    if (req->span)
+        stampSpanAdmit(*req, now);
     const bool is_write = req->isWrite;
     ++chanVer_; // queue membership changed: cached queue horizon stale
     if (is_write)
@@ -148,6 +152,50 @@ ChannelController::enqueue(std::unique_ptr<MemRequest> req, Cycle now)
         else
             readQueueOcc_.sample(readQueue_.size());
     }
+}
+
+void
+ChannelController::stampSpanAdmit(MemRequest &req, Cycle now)
+{
+    RequestSpan &s = *req.span;
+    const Rank &rank = ranks_[req.loc.rank];
+    const Bank &bank = rank.bank(req.loc.bank);
+    s.channel = channelId_;
+    s.rank = req.loc.rank;
+    s.bank = req.loc.bank;
+    s.row = req.loc.row;
+    s.logicalRow = req.logicalRow;
+    s.rowClass = classifier_->classify(channelId_, req.loc.rank,
+                                       req.loc.bank, req.loc.row);
+    s.admitCycle = now;
+    // Migration holding the target row at admit (its end cycle), and
+    // the readiness lower bound the scheduler itself would compute —
+    // requestReadyAt is semantically transparent (a pure function of
+    // versioned state, cached at the value a later query would see),
+    // so asking early cannot perturb scheduling.
+    s.blockedUntilCycle =
+        bank.rowBlocked(now, req.loc.row) ? bank.reservedUntil() : 0;
+    s.readyCycle = std::max(now, requestReadyAt(req));
+    if (s.blockedUntilCycle > s.readyCycle)
+        s.readyCycle = s.blockedUntilCycle;
+    // Busy-accumulator snapshots: the deltas at first command are
+    // exactly the refresh / reservation overlap with the wait window.
+    s.refreshBusyAtAdmit = rank.refreshBusyUpTo(now);
+    s.reserveBusyAtAdmit = bank.reservedBusyUpTo(now);
+}
+
+void
+ChannelController::stampSpanFirstCommand(MemRequest &req, Cycle now)
+{
+    RequestSpan &s = *req.span;
+    if (s.hasFirstCmd)
+        return;
+    s.hasFirstCmd = true;
+    s.firstCmdCycle = now;
+    const Rank &rank = ranks_[req.loc.rank];
+    const Bank &bank = rank.bank(req.loc.bank);
+    s.waitRefresh = rank.refreshBusyUpTo(now) - s.refreshBusyAtAdmit;
+    s.waitBlock = bank.reservedBusyUpTo(now) - s.reserveBusyAtAdmit;
 }
 
 bool
@@ -246,6 +294,17 @@ ChannelController::finish(std::unique_ptr<MemRequest> req, Cycle at,
             bankStatsOf(req->loc.rank, req->loc.bank)
                 .readLatency.sample(static_cast<double>(lat));
         }
+    }
+    if (req->span) {
+        RequestSpan &s = *req->span;
+        s.dataCycle = at;
+        s.location = req->location;
+        // Emission happens in completion order, which the engine and
+        // threading equivalence suites prove deterministic; finish()
+        // never runs inside a parallel channel span (see
+        // parallelSafeThrough), so sinks need no locking.
+        if (spanSink_)
+            spanSink_->onSpan(s);
     }
     if (req->onComplete)
         req->onComplete(*req, at);
@@ -420,6 +479,10 @@ ChannelController::tryColumn(MemRequest &req, Cycle now)
     nextColAllowedAt_ = now + timing_->tCCD;
     lastBusRank_ = static_cast<int>(req.loc.rank);
     lastBusWasWrite_ = req.isWrite;
+    if (req.span) {
+        stampSpanFirstCommand(req, now);
+        req.span->colCycle = now;
+    }
     if (sink_) {
         CmdRecord rec;
         rec.cycle = now;
@@ -517,6 +580,13 @@ ChannelController::tryRowCommand(MemRequest &req, Cycle now)
             if (want != bank.openRowClass())
                 bs.classConflicts.inc();
         }
+        if (req.span) {
+            stampSpanFirstCommand(req, now);
+            if (!req.span->hasPre) {
+                req.span->hasPre = true;
+                req.span->preCycle = now;
+            }
+        }
         emitPrecharge(now, req.loc.rank, req.loc.bank, bank);
         bank.precharge(now);
         precharges_.inc();
@@ -530,6 +600,21 @@ ChannelController::tryRowCommand(MemRequest &req, Cycle now)
 
     RowClass cls = classifier_->classify(channelId_, req.loc.rank,
                                          req.loc.bank, req.loc.row);
+    if (req.span) {
+        stampSpanFirstCommand(req, now);
+        RequestSpan &s = *req.span;
+        if (!s.hasAct) {
+            s.hasAct = true;
+            s.actCycle = now;
+            // Extra delay tFAW/tRRD imposed beyond the bank's own
+            // readiness (read before activate/recordActivate below
+            // update the windows). Informational: part of waitQueue.
+            Cycle bank_ready = std::max(s.admitCycle, bank.actAllowedAt());
+            Cycle rank_ready = rank.activateAllowedAt();
+            s.fawStall =
+                rank_ready > bank_ready ? rank_ready - bank_ready : 0;
+        }
+    }
     bank.activate(now, req.loc.row, cls);
     rank.recordActivate(now);
     if (sink_) {

@@ -29,6 +29,8 @@
 namespace dasdram
 {
 
+class RequestTraceSink; // mem/request_trace.hh
+
 /** Request scheduling policy. */
 enum class SchedPolicy
 {
@@ -75,6 +77,15 @@ struct ControllerConfig
      * shape-stable); this only gates the sampling on the hot path.
      */
     bool histograms = true;
+
+    /**
+     * Observer for completed request spans (sampled lifecycle
+     * tracing). Zero cost when no request carries a span: every touch
+     * point is gated on the request's span pointer. Must outlive the
+     * controller. Also settable post-construction via
+     * ChannelController::setSpanSink().
+     */
+    RequestTraceSink *spanSink = nullptr;
 };
 
 /** An internal row migration or swap to run in one bank. */
@@ -171,6 +182,9 @@ class ChannelController
 
     /** Attach (or detach with nullptr) the command observer. */
     void setCommandSink(CommandSink *sink) { sink_ = sink; }
+
+    /** Attach (or detach with nullptr) the completed-span observer. */
+    void setSpanSink(RequestTraceSink *sink) { spanSink_ = sink; }
 
     /// @name Introspection & statistics
     /// @{
@@ -283,6 +297,23 @@ class ChannelController
     void finish(std::unique_ptr<MemRequest> req, Cycle at,
                 ServiceLocation fallback_loc);
 
+    /// @name Request-span stamping (no-ops unless req.span is set)
+    /// @{
+
+    /** Queue-admit stamp: coordinates, row class, readiness lower
+     *  bound and the busy-accumulator snapshots blame is charged
+     *  against. Call from enqueue(), after arrivalTick is set. */
+    void stampSpanAdmit(MemRequest &req, Cycle now);
+
+    /**
+     * First-command stamp: closes the wait window [admit, now) and
+     * charges its reservation/refresh overlap from the accumulator
+     * deltas. Idempotent — later commands for the same request leave
+     * the window closed. @pre req.span.
+     */
+    void stampSpanFirstCommand(MemRequest &req, Cycle now);
+    /// @}
+
     /**
      * Report a PRE closing @p bank's open row (call before
      * Bank::precharge, while the row is still visible).
@@ -308,6 +339,7 @@ class ChannelController
     std::vector<std::unique_ptr<MemRequest>> inflight_;
 
     CommandSink *sink_ = nullptr;
+    RequestTraceSink *spanSink_ = nullptr;
     std::uint64_t nextMigrationId_ = 1;
 
     std::deque<MigrationJob> migrations_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "mem/request_trace.hh"
 
 namespace dasdram
 {
@@ -12,7 +13,7 @@ DramSystem::DramSystem(const DramGeometry &geom, const DramTiming &timing,
                        const ControllerConfig &ctrl_cfg,
                        MappingScheme scheme)
     : timing_(timing), mapper_(geom, scheme), sink_(ctrl_cfg.cmdSink),
-      statGroup_("dram")
+      spanSink_(ctrl_cfg.spanSink), statGroup_("dram")
 {
     channels_.reserve(geom.channels);
     for (unsigned c = 0; c < geom.channels; ++c) {
@@ -70,6 +71,27 @@ DramSystem::submit(std::unique_ptr<MemRequest> req, Cycle now_tick)
         req->location = ServiceLocation::RowBuffer;
         Cycle done = mem_now + timing_.slow.tCL + timing_.tBL;
         req->completionTick = done;
+        if (req->span) {
+            // Forwarded reads never reach a channel controller, so
+            // the span is closed (and emitted) here: the whole
+            // latency is service time, no queue/row stages.
+            RequestSpan &s = *req->span;
+            s.forwarded = true;
+            s.channel = req->loc.channel;
+            s.rank = req->loc.rank;
+            s.bank = req->loc.bank;
+            s.row = req->loc.row;
+            s.logicalRow = req->logicalRow;
+            s.location = ServiceLocation::RowBuffer;
+            s.admitCycle = mem_now;
+            s.readyCycle = mem_now;
+            s.hasFirstCmd = true;
+            s.firstCmdCycle = mem_now;
+            s.colCycle = mem_now;
+            s.dataCycle = done;
+            if (spanSink_)
+                spanSink_->onSpan(s);
+        }
         if (req->onComplete)
             req->onComplete(*req, done);
         return;
@@ -106,6 +128,14 @@ DramSystem::setCommandSink(CommandSink *sink)
     sink_ = sink;
     for (const auto &ch : channels_)
         ch->setCommandSink(sink);
+}
+
+void
+DramSystem::setRequestTraceSink(RequestTraceSink *sink)
+{
+    spanSink_ = sink;
+    for (const auto &ch : channels_)
+        ch->setSpanSink(sink);
 }
 
 void

@@ -88,6 +88,14 @@ class DramSystem
     void setCommandSink(CommandSink *sink);
 
     /**
+     * Attach a completed-request-span observer (request tracing) to
+     * every channel; nullptr detaches. Must outlive the system. The
+     * system keeps its own reference for reads forwarded from the
+     * write queue, which never reach a channel controller.
+     */
+    void setRequestTraceSink(RequestTraceSink *sink);
+
+    /**
      * Set the number of threads used to advance channels inside
      * tick(). Clamped to [1, numChannels()]; 1 (the default) keeps the
      * fully serial path. Results are bit-identical for every value:
@@ -176,6 +184,7 @@ class DramSystem
     Cycle lastMemCycle_ = 0;
 
     CommandSink *sink_ = nullptr; ///< system-wide sink (may be null)
+    RequestTraceSink *spanSink_ = nullptr; ///< request-span sink
 
     /**
      * Shortest latency from any in-span command issue to its earliest

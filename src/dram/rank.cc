@@ -70,6 +70,8 @@ Rank::refresh(Cycle now)
         panic("Rank::refresh with open or reserved banks at cycle {}", now);
     ++version_;
     Cycle done = now + timing_->tRFC;
+    refreshingUntil_ = done;
+    refreshBusyTotal_ += timing_->tRFC;
     for (Bank &b : banks_)
         b.refresh(done);
     nextRefreshAt_ += timing_->tREFI;

@@ -73,6 +73,23 @@ class Rank
 
     /** Total refreshes performed. */
     std::uint64_t refreshCount() const { return refreshCount_; }
+
+    /**
+     * Cumulative cycles this rank has spent refreshing (tRFC windows)
+     * up to cycle @p t; the part of an in-flight refresh past @p t is
+     * excluded. Monotone in @p t; the difference of two snapshots is
+     * exactly the refresh busy time inside the window — the request
+     * tracer's "refresh shadow" blame. Refresh and migration
+     * reservations are provably disjoint per rank (refresh() requires
+     * all banks unreserved), so bank reservation blame and rank
+     * refresh blame never double-count a cycle.
+     */
+    Cycle
+    refreshBusyUpTo(Cycle t) const
+    {
+        Cycle pending = refreshingUntil_ > t ? refreshingUntil_ - t : 0;
+        return refreshBusyTotal_ - pending;
+    }
     /// @}
 
   private:
@@ -87,6 +104,8 @@ class Rank
 
     Cycle readAllowedAt_ = 0;
     Cycle nextRefreshAt_;
+    Cycle refreshingUntil_ = 0;
+    Cycle refreshBusyTotal_ = 0;
     std::uint64_t refreshCount_ = 0;
     std::uint64_t version_ = 0;
 };

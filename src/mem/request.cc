@@ -1,7 +1,19 @@
 #include "request.hh"
 
+#include "mem/request_trace.hh"
+
 namespace dasdram
 {
+
+MemRequest::MemRequest() = default;
+
+MemRequest::MemRequest(Addr a, bool write, int core)
+    : addr(a), isWrite(write), coreId(core)
+{}
+
+MemRequest::MemRequest(MemRequest &&) noexcept = default;
+MemRequest &MemRequest::operator=(MemRequest &&) noexcept = default;
+MemRequest::~MemRequest() = default;
 
 const char *
 toString(ServiceLocation loc)

@@ -10,6 +10,7 @@
 #include "dram/protocol_checker.hh"
 #include "dram/row_class.hh"
 #include "mem/clock.hh"
+#include "mem/request_trace.hh"
 #include "sim/sweep.hh"
 #include "workload/workload_spec.hh"
 
@@ -42,6 +43,19 @@ pickRow(Rng &rng, const FuzzCase &c)
         return c.geom.rowsPerBank - spread + off;
     return off;
 }
+
+/** Span sink that only counts completions (the fuzzer has no use for
+ *  the span contents — it proves the *presence* of tracing changes
+ *  nothing). */
+class CountingSpanSink : public RequestTraceSink
+{
+  public:
+    void onSpan(const RequestSpan &) override { ++count_; }
+    std::uint64_t count() const { return count_; }
+
+  private:
+    std::uint64_t count_ = 0;
+};
 
 /** parseDesign()-compatible short name, safe for --filter replay. */
 const char *
@@ -87,6 +101,15 @@ runProtocolFuzz(const FuzzCase &c, const DramTiming &dut,
     DramSystem dram(c.geom, dut, cls, c.ctrl, c.mapping);
     dram.setCommandSink(&fanout);
     dram.setChannelThreads(c.channelThreads);
+
+    // Request-span tracing under fuzz traffic: every created request
+    // draws a sampling decision (before the canAccept bail-out, so the
+    // decision stream is a pure function of the creation sequence and
+    // therefore identical across engines and thread counts).
+    RequestTracer tracer(c.seed, c.traceRequests);
+    CountingSpanSink span_sink;
+    if (c.traceRequests > 0.0)
+        dram.setRequestTraceSink(&span_sink);
 
     FuzzReport rep;
     rep.name = c.name;
@@ -174,6 +197,18 @@ runProtocolFuzz(const FuzzCase &c, const DramTiming &dut,
             req->onComplete = [&rep](MemRequest &, Cycle) {
                 ++rep.completed;
             };
+            if (c.traceRequests > 0.0) {
+                req->span = tracer.maybeStart();
+                if (req->span) {
+                    req->span->core = -1;
+                    req->span->addr = req->addr;
+                    req->span->isWrite = req->isWrite;
+                    req->span->issueTick = now_tick;
+                    req->span->missTick = now_tick;
+                    req->span->transDoneTick = now_tick;
+                    req->span->submitTick = now_tick;
+                }
+            }
             if (!dram.canAccept(req->loc, req->isWrite))
                 break;
             if (event)
@@ -234,6 +269,7 @@ runProtocolFuzz(const FuzzCase &c, const DramTiming &dut,
     rep.commands = checker.commandCount();
     rep.violations = checker.violationCount();
     rep.firstViolation = checker.firstViolation();
+    rep.spansEmitted = span_sink.count();
     return rep;
 }
 
@@ -276,7 +312,11 @@ diffTraces(std::string &detail, const std::string &tick,
     detail = "traces differ (whitespace only?)";
 }
 
-/** First mismatch between two full runs (all report fields + traces). */
+/** First mismatch between two full runs (all report fields + traces).
+ *  spansEmitted is deliberately not compared here: the sampling
+ *  crossing diffs a rate-0 run against sampled ones, and the span
+ *  count is the one field that legitimately differs. Sampled runs
+ *  are held to an exact span-count match separately. */
 void
 diffRuns(std::string &detail, const FuzzReport &a, const FuzzReport &b,
          const std::string &trace_a, const std::string &trace_b)
@@ -311,12 +351,21 @@ runFuzzDifferential(const FuzzCase &c,
     const DramTiming t = ddr3_1600Timing(spec.charmColumnOpt);
     const std::vector<unsigned> threads =
         thread_counts.empty() ? std::vector<unsigned>{1} : thread_counts;
+    // With c.traceRequests set, cross span sampling off/on too:
+    // tracing is observation-only, so every report field and
+    // command-trace byte must survive turning it on, at every
+    // (engine, threads) combination. Rate 0 keeps the historical
+    // engine x threads matrix (and its cost) unchanged.
+    std::vector<double> rates{0.0};
+    if (c.traceRequests > 0.0)
+        rates.push_back(c.traceRequests);
 
-    auto run_one = [&](SimEngine engine, unsigned nthreads,
+    auto run_one = [&](SimEngine engine, unsigned nthreads, double rate,
                        std::string &trace_text) {
         FuzzCase one = c;
         one.engine = engine;
         one.channelThreads = nthreads;
+        one.traceRequests = rate;
         std::ostringstream os;
         CommandTrace trace(os);
         FuzzReport rep = runProtocolFuzz(one, t, t, &trace);
@@ -324,27 +373,52 @@ runFuzzDifferential(const FuzzCase &c,
         return rep;
     };
 
-    // The tick engine at the first thread count is the reference every
-    // other (engine, threads) combination must match byte-for-byte.
+    // The tick engine at the first thread count with sampling off is
+    // the reference every other (engine, threads, rate) combination
+    // must match byte-for-byte.
     FuzzDifferential d;
     std::string ref_trace;
-    d.tick = run_one(SimEngine::Tick, threads.front(), ref_trace);
+    d.tick = run_one(SimEngine::Tick, threads.front(), 0.0, ref_trace);
     bool have_event = false;
+    std::uint64_t span_ref = 0;
+    bool have_span_ref = false;
     for (SimEngine engine : {SimEngine::Tick, SimEngine::Event}) {
         for (unsigned n : threads) {
-            if (engine == SimEngine::Tick && n == threads.front())
-                continue;
-            std::string trace;
-            FuzzReport rep = run_one(engine, n, trace);
-            if (engine == SimEngine::Event && !have_event) {
-                d.event = rep;
-                have_event = true;
-            }
-            std::string detail;
-            diffRuns(detail, d.tick, rep, ref_trace, trace);
-            if (!detail.empty() && d.detail.empty()) {
-                d.detail = formatStr("{}/threads={}: {}",
-                                     toString(engine), n, detail);
+            for (double rate : rates) {
+                if (engine == SimEngine::Tick && n == threads.front() &&
+                    rate == 0.0) {
+                    continue;
+                }
+                std::string trace;
+                FuzzReport rep = run_one(engine, n, rate, trace);
+                if (engine == SimEngine::Event && !have_event &&
+                    rate == 0.0) {
+                    d.event = rep;
+                    have_event = true;
+                }
+                std::string detail;
+                diffRuns(detail, d.tick, rep, ref_trace, trace);
+                if (!detail.empty() && d.detail.empty()) {
+                    d.detail =
+                        formatStr("{}/threads={}/rate={}: {}",
+                                  toString(engine), n, rate, detail);
+                }
+                // Sampled runs must agree with each other on the span
+                // count: the decisions are a pure function of
+                // (seed, rate, creation order), all identical here.
+                if (rate > 0.0) {
+                    if (!have_span_ref) {
+                        span_ref = rep.spansEmitted;
+                        have_span_ref = true;
+                    } else if (rep.spansEmitted != span_ref &&
+                               d.detail.empty()) {
+                        d.detail = formatStr(
+                            "{}/threads={}/rate={}: spansEmitted {} != "
+                            "reference {}",
+                            toString(engine), n, rate, rep.spansEmitted,
+                            span_ref);
+                    }
+                }
             }
         }
     }

@@ -75,6 +75,17 @@ struct FuzzCase
      * thread counts to enforce exactly that.
      */
     unsigned channelThreads = 1;
+
+    /**
+     * Request-span sampling rate in [0, 1] (mem/request_trace.hh).
+     * When > 0 every created request draws a deterministic sampling
+     * decision and sampled ones carry a span through the controller;
+     * the run reports the emitted span count. Tracing is
+     * observation-only, so reports and command traces must be
+     * bit-identical for every rate — the differential oracle crosses
+     * sampling on/off to enforce exactly that.
+     */
+    double traceRequests = 0.0;
 };
 
 /** Outcome of one fuzz case. */
@@ -89,6 +100,10 @@ struct FuzzReport
     unsigned completed = 0;
     std::uint64_t migrationsStarted = 0;
     std::uint64_t migrationsDone = 0;
+    /** Completed spans observed (traceRequests > 0 only). Excluded
+     *  from the differential report diff — the sampled-vs-unsampled
+     *  crossing intentionally differs here and only here. */
+    std::uint64_t spansEmitted = 0;
     bool drained = false; ///< all traffic completed within the budget
 
     bool ok() const { return violations == 0 && drained; }
@@ -136,11 +151,15 @@ FuzzDifferential runFuzzDifferential(const FuzzCase &c);
 
 /**
  * Extended differential oracle crossing engines against channel-thread
- * counts: every (engine, threads) combination from {tick, event} ×
- * @p thread_counts runs with the same seed and is compared — reports
- * and full command traces — against the tick run at the first thread
- * count. `detail` names the first diverging combination. The returned
- * `tick`/`event` reports are the two runs at the first thread count.
+ * counts — and, when c.traceRequests > 0, span sampling off/on: every
+ * (engine, threads, rate) combination from {tick, event} ×
+ * @p thread_counts × {0, c.traceRequests} runs with the same seed and
+ * is compared — reports and full command traces — against the tick
+ * run at the first thread count with sampling off, proving request
+ * tracing is observation-only. Sampled runs must additionally agree
+ * on the emitted span count. `detail` names the first diverging
+ * combination. The returned `tick`/`event` reports are the two
+ * unsampled runs at the first thread count.
  */
 FuzzDifferential
 runFuzzDifferential(const FuzzCase &c,

@@ -226,6 +226,8 @@ configToJson(const SimConfig &cfg)
     w.field("statsOut", cfg.obs.statsOut);
     w.field("statsDir", cfg.obs.statsDir);
     w.field("traceOut", cfg.obs.traceOut);
+    w.field("traceRequests", cfg.obs.traceRequests);
+    w.field("spansOut", cfg.obs.spansOut);
     w.field("label", cfg.obs.label);
     w.endObject();
 
@@ -327,6 +329,8 @@ configFromJson(const std::string &text, SimConfig base)
         s.str("statsOut", cfg.obs.statsOut);
         s.str("statsDir", cfg.obs.statsDir);
         s.str("traceOut", cfg.obs.traceOut);
+        s.num("traceRequests", cfg.obs.traceRequests);
+        s.str("spansOut", cfg.obs.spansOut);
         s.str("label", cfg.obs.label);
         s.finish();
     }

@@ -57,6 +57,20 @@ struct ObservabilityConfig
      *  streamed during the run. Empty = off. */
     std::string traceOut;
 
+    /**
+     * Request-lifecycle tracing sample rate in [0, 1]: the fraction
+     * of memory requests that carry a span record through the
+     * controller (mem/request_trace.hh). 0 (default) disables the
+     * tracer entirely — no sampler, no per-request pointer checks
+     * beyond a null test. Sampling is deterministic in (seed, rate),
+     * independent of engine and channel threading.
+     */
+    double traceRequests = 0.0;
+
+    /** Span-JSONL output path (schema dasdram-spans); streamed during
+     *  the run. Empty = off. Requires traceRequests > 0 to emit. */
+    std::string spansOut;
+
     /** Run identity stamped into the stats meta record. */
     std::string workloadName;
     std::string label;

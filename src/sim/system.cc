@@ -89,6 +89,7 @@ System::System(const SimConfig &cfg, std::vector<TraceSource *> traces)
             *traceFile_, cfg_.geom, timing_);
     }
     rebuildCommandSinks();
+    warnIfThreadedTraceExport();
     caches_ = std::make_unique<CacheHierarchy>(cfg_.numCores, cfg_.caches,
                                                cfg_.seed);
 
@@ -102,8 +103,19 @@ System::System(const SimConfig &cfg, std::vector<TraceSource *> traces)
     mshrs_ = std::make_unique<MshrFile>(cfg_.mshrsPerCore * cfg_.numCores);
 
     wbSink_ = [this](Addr line) {
+        std::unique_ptr<RequestSpan> span;
+        if (tracer_) {
+            span = tracer_->maybeStart();
+            if (span) {
+                span->core = -1;
+                span->addr = line;
+                span->isWrite = true;
+                span->issueTick = now_;
+                span->missTick = now_;
+            }
+        }
         das_->access(line, /*is_write=*/true, /*core=*/-1,
-                     DasManager::DoneFn{}, now_);
+                     DasManager::DoneFn{}, now_, std::move(span));
     };
 
     for (unsigned i = 0; i < cfg_.numCores; ++i) {
@@ -121,6 +133,35 @@ System::System(const SimConfig &cfg, std::vector<TraceSource *> traces)
     statGroup_.addChild(&dram_->stats());
     statGroup_.addChild(&mshrs_->stats());
 
+    if (cfg_.obs.traceRequests > 0.0) {
+        // Request-lifecycle tracing: one deterministic sampler shared
+        // by every request-creation point (demand misses, writebacks,
+        // table walks), completed spans fanned out to the in-sim
+        // aggregator and the optional JSONL export. Registered before
+        // the epoch series so its stats ride the time-series too.
+        tracer_ = std::make_unique<RequestTracer>(cfg_.seed,
+                                                  cfg_.obs.traceRequests);
+        das_->setRequestTracer(tracer_.get());
+        spanFanout_ = std::make_unique<RequestSpanFanout>();
+        spanAgg_ =
+            std::make_unique<CriticalPathAggregator>(cfg_.numCores);
+        spanFanout_->addSink(spanAgg_.get());
+        if (!cfg_.obs.spansOut.empty()) {
+            spansFile_ =
+                std::make_unique<std::ofstream>(cfg_.obs.spansOut);
+            if (!*spansFile_)
+                fatal("cannot open '{}' for writing", cfg_.obs.spansOut);
+            spanWriter_ = std::make_unique<SpanJsonlWriter>(*spansFile_,
+                                                            spanMeta());
+            spanFanout_->addSink(spanWriter_.get());
+        }
+        dram_->setRequestTraceSink(spanFanout_.get());
+        statGroup_.addChild(&spanAgg_->stats());
+    } else if (!cfg_.obs.spansOut.empty()) {
+        fatal("obs.spansOut ('{}') requires obs.traceRequests > 0",
+              cfg_.obs.spansOut);
+    }
+
     if (chromeTrace_)
         das_->setEventSink(chromeTrace_.get());
     if (cfg_.obs.epochMemCycles > 0) {
@@ -130,6 +171,18 @@ System::System(const SimConfig &cfg, std::vector<TraceSource *> traces)
 }
 
 System::~System() = default;
+
+SpanJsonlMeta
+System::spanMeta() const
+{
+    SpanJsonlMeta meta;
+    meta.workload = cfg_.obs.workloadName;
+    meta.design = toString(cfg_.design);
+    meta.label = cfg_.obs.label;
+    meta.seed = cfg_.seed;
+    meta.rate = cfg_.obs.traceRequests;
+    return meta;
+}
 
 void
 System::rebuildCommandSinks()
@@ -157,6 +210,19 @@ System::rebuildCommandSinks()
 }
 
 void
+System::warnIfThreadedTraceExport()
+{
+    if (!chromeTrace_ || cfg_.channelThreads <= 1 || warnedThreadedTrace_)
+        return;
+    warnedThreadedTrace_ = true;
+    warn("--trace-out with --channel-threads={}: command records are "
+         "buffered per channel during parallel spans and stable-sorted "
+         "by cycle before the trace writer sees them, so the export is "
+         "deterministic but the writer only observes merged order",
+         cfg_.channelThreads);
+}
+
+void
 System::attachCommandTrace(std::ostream &os)
 {
     cmdTrace_ = std::make_unique<CommandTrace>(os);
@@ -170,6 +236,17 @@ System::attachChromeTrace(std::ostream &os)
         std::make_unique<ChromeTraceWriter>(os, cfg_.geom, timing_);
     das_->setEventSink(chromeTrace_.get());
     rebuildCommandSinks();
+    warnIfThreadedTraceExport();
+}
+
+void
+System::attachRequestSpanTrace(std::ostream &os)
+{
+    if (!tracer_)
+        fatal("attachRequestSpanTrace requires cfg.obs.traceRequests > 0");
+    attachedSpanWriters_.push_back(
+        std::make_unique<SpanJsonlWriter>(os, spanMeta()));
+    spanFanout_->addSink(attachedSpanWriters_.back().get());
 }
 
 void
@@ -189,9 +266,10 @@ System::handleCoreAccess(unsigned core, Addr addr, bool is_write,
     }
     Cycle at = now_ + res.latencyTicks;
     Addr line = res.lineAddr;
-    scheduleEvent(at, [this, core, line, is_write,
+    const Cycle issue = now_; // core-issue stage of a sampled span
+    scheduleEvent(at, [this, core, line, is_write, issue,
                        done = std::move(done)]() mutable {
-        startMiss(core, line, is_write, now_);
+        startMiss(core, line, is_write, now_, issue);
         // Register this access's waiter after startMiss ensured an
         // MSHR entry exists (or will retry below).
         if (mshrs_->outstanding(line)) {
@@ -209,19 +287,33 @@ System::handleCoreAccess(unsigned core, Addr addr, bool is_write,
 }
 
 void
-System::startMiss(unsigned core, Addr line, bool is_write, Cycle at)
+System::startMiss(unsigned core, Addr line, bool is_write, Cycle at,
+                  Cycle issue_tick)
 {
     if (mshrs_->outstanding(line))
         return; // coalesced; fill in flight
     if (mshrs_->full())
         return; // caller retries
     mshrs_->allocate(line);
+    // Sample at MSHR allocation: the set of allocations (and their
+    // order) is already proven identical across engines and channel
+    // threading, so the sampled subset is too.
+    std::unique_ptr<RequestSpan> span;
+    if (tracer_) {
+        span = tracer_->maybeStart();
+        if (span) {
+            span->core = static_cast<int>(core);
+            span->addr = line;
+            span->issueTick = issue_tick;
+            span->missTick = at;
+        }
+    }
     das_->access(line, /*is_write=*/false, static_cast<int>(core),
                  [this, core, line, is_write](Cycle t) {
                      caches_->fill(core, line, is_write, wbSink_);
                      mshrs_->complete(line, t);
                  },
-                 at);
+                 at, std::move(span));
 }
 
 void
@@ -443,6 +535,8 @@ System::run()
         epochs_->flush(now_ / kMemTick);
     if (chromeTrace_)
         chromeTrace_->finish();
+    if (spansFile_)
+        spansFile_->flush();
     if (!cfg_.obs.statsOut.empty()) {
         std::ofstream os(cfg_.obs.statsOut);
         if (!os)

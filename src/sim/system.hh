@@ -136,6 +136,24 @@ class System
      */
     void attachChromeTrace(std::ostream &os);
 
+    /**
+     * Stream the sampled request-span JSONL (mem/request_trace.hh
+     * schema) to @p os. Requires cfg.obs.traceRequests > 0 (the
+     * sampler only exists then). Call before run(); @p os must
+     * outlive the system. Used by tests; cfg.obs.spansOut does this
+     * against a file.
+     */
+    void attachRequestSpanTrace(std::ostream &os);
+
+    /** The request tracer (nullptr when cfg.obs.traceRequests == 0). */
+    const RequestTracer *requestTracer() const { return tracer_.get(); }
+
+    /** The span aggregator (nullptr when tracing is off). */
+    const CriticalPathAggregator *spanAggregator() const
+    {
+        return spanAgg_.get();
+    }
+
     /** Dump all statistics (post-run) to @p os. */
     void dumpStats(std::ostream &os) const;
 
@@ -174,10 +192,17 @@ class System
      * not the min-progress core) is unconstrained.
      */
     InstCount retireCap(const Core &core) const;
-    void startMiss(unsigned core, Addr line, bool is_write, Cycle at);
+    /** @p issue_tick: the tick the core issued the access (the span's
+     *  core-issue stage); @p at is when the LLC reported the miss. */
+    void startMiss(unsigned core, Addr line, bool is_write, Cycle at,
+                   Cycle issue_tick);
     void resetAfterWarmup();
     /** Re-point every channel at the active set of command sinks. */
     void rebuildCommandSinks();
+    /** One-shot warning for Chrome trace export + channel threading. */
+    void warnIfThreadedTraceExport();
+    /** Run identity stamped into span-JSONL meta records. */
+    SpanJsonlMeta spanMeta() const;
 
     SimConfig cfg_;
     std::vector<std::unique_ptr<TraceSource>> ownedTraces_;
@@ -191,6 +216,18 @@ class System
     std::unique_ptr<ChromeTraceWriter> chromeTrace_;
     std::unique_ptr<std::ofstream> traceFile_; ///< backs obs.traceOut
     std::unique_ptr<CommandFanout> cmdFanout_;
+
+    /// @name Request-lifecycle tracing (all null when traceRequests == 0)
+    /// @{
+    std::unique_ptr<RequestTracer> tracer_;
+    std::unique_ptr<RequestSpanFanout> spanFanout_;
+    std::unique_ptr<CriticalPathAggregator> spanAgg_;
+    std::unique_ptr<SpanJsonlWriter> spanWriter_; ///< backs obs.spansOut
+    std::unique_ptr<std::ofstream> spansFile_;
+    /** Writers added via attachRequestSpanTrace (tests). */
+    std::vector<std::unique_ptr<SpanJsonlWriter>> attachedSpanWriters_;
+    /// @}
+
     std::unique_ptr<EpochSeries> epochs_;
     std::unique_ptr<DramSystem> dram_;
     std::unique_ptr<CacheHierarchy> caches_;
@@ -216,6 +253,8 @@ class System
     CacheHierarchy::WritebackSink wbSink_;
     std::uint64_t warmupCycleStamp_ = 0;
     bool warmupDone_ = false;
+    /** Chrome-trace + channel-threads warning already emitted. */
+    bool warnedThreadedTrace_ = false;
 
     StatGroup statGroup_;
 };

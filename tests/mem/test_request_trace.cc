@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Unit tests for the request-lifecycle tracing layer
+ * (mem/request_trace.hh): deterministic sampling, sink fanout, the
+ * schema-versioned span-JSONL writer, the exact telescoping of the
+ * blame breakdown and the critical-path aggregator's group routing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/stats_jsonl.hh"
+#include "mem/request_trace.hh"
+
+using namespace dasdram;
+
+namespace
+{
+
+/** Sink that copies every span it sees. */
+class RecordingSink : public RequestTraceSink
+{
+  public:
+    void onSpan(const RequestSpan &s) override { spans.push_back(s); }
+    std::vector<RequestSpan> spans;
+};
+
+/** Decision indices sampled by a fresh tracer over @p n decisions. */
+std::set<std::uint64_t>
+sampledSet(std::uint64_t seed, double rate, std::uint64_t n)
+{
+    RequestTracer tracer(seed, rate);
+    std::set<std::uint64_t> out;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        if (auto span = tracer.maybeStart())
+            out.insert(span->sampleId);
+    }
+    return out;
+}
+
+/** A fully-stamped span with exact component telescoping. */
+RequestSpan
+madeSpan()
+{
+    RequestSpan s;
+    s.sampleId = 7;
+    s.core = 1;
+    s.addr = 0x1234;
+    s.channel = 1;
+    s.rank = 0;
+    s.bank = 3;
+    s.row = 42;
+    s.rowClass = RowClass::Fast;
+    s.location = ServiceLocation::FastLevel;
+    s.issueTick = 100;
+    s.missTick = 110;
+    s.transDoneTick = 120;
+    s.submitTick = 130;
+    s.admitCycle = 10;
+    s.readyCycle = 12;
+    s.firstCmdCycle = 25;
+    s.hasFirstCmd = true;
+    s.hasAct = true;
+    s.actCycle = 25;
+    s.colCycle = 40;
+    s.dataCycle = 55;
+    s.waitBlock = 4;
+    s.waitRefresh = 3;
+    s.fawStall = 2;
+    return s;
+}
+
+double
+num(const JsonValue &v, const char *key)
+{
+    const JsonValue *f = v.find(key);
+    EXPECT_TRUE(f && f->isNumber()) << key;
+    return f && f->isNumber() ? f->number : 0.0;
+}
+
+std::string
+str(const JsonValue &v, const char *key)
+{
+    const JsonValue *f = v.find(key);
+    EXPECT_TRUE(f && f->isString()) << key;
+    return f && f->isString() ? f->string : std::string();
+}
+
+/** Parse a stats-JSONL group dump into records keyed by name. */
+std::map<std::string, JsonValue>
+parseGroup(const StatGroup &group)
+{
+    std::ostringstream os;
+    writeStatsJsonlGroup(os, group);
+    std::map<std::string, JsonValue> recs;
+    std::istringstream is(os.str());
+    std::string line;
+    while (std::getline(is, line)) {
+        JsonValue v;
+        std::string err;
+        EXPECT_TRUE(parseJson(line, v, &err)) << line << ": " << err;
+        recs.emplace(str(v, "name"), std::move(v));
+    }
+    return recs;
+}
+
+} // namespace
+
+TEST(RequestTrace, RateZeroNeverSamplesAndRateOneAlwaysSamples)
+{
+    RequestTracer off(42, 0.0);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(off.maybeStart(), nullptr);
+    EXPECT_EQ(off.decisions(), 1000u);
+    EXPECT_EQ(off.sampled(), 0u);
+
+    RequestTracer all(42, 1.0);
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+        auto span = all.maybeStart();
+        ASSERT_NE(span, nullptr);
+        // sampleId is the decision sequence number.
+        EXPECT_EQ(span->sampleId, i);
+    }
+    EXPECT_EQ(all.sampled(), 1000u);
+}
+
+TEST(RequestTrace, SamplingIsDeterministicInSeedAndRate)
+{
+    auto a = sampledSet(/*seed=*/7, /*rate=*/0.3, 20'000);
+    auto b = sampledSet(/*seed=*/7, /*rate=*/0.3, 20'000);
+    EXPECT_EQ(a, b);
+
+    // A different seed picks a (practically surely) different subset
+    // of comparable size.
+    auto c = sampledSet(/*seed=*/8, /*rate=*/0.3, 20'000);
+    EXPECT_NE(a, c);
+    EXPECT_GT(c.size(), 0u);
+}
+
+TEST(RequestTrace, SampleRateIsApproximatelyHonoured)
+{
+    const std::uint64_t n = 100'000;
+    auto s = sampledSet(/*seed=*/42, /*rate=*/0.25, n);
+    double frac = static_cast<double>(s.size()) / static_cast<double>(n);
+    EXPECT_NEAR(frac, 0.25, 0.01);
+}
+
+TEST(RequestTrace, FanoutBroadcastsToEverySinkAndIgnoresNull)
+{
+    RecordingSink a, b;
+    RequestSpanFanout fan;
+    fan.addSink(&a);
+    fan.addSink(nullptr); // must be ignored, not crash
+    fan.addSink(&b);
+    fan.onSpan(madeSpan());
+    ASSERT_EQ(a.spans.size(), 1u);
+    ASSERT_EQ(b.spans.size(), 1u);
+    EXPECT_EQ(a.spans[0].sampleId, 7u);
+    EXPECT_EQ(b.spans[0].addr, 0x1234u);
+}
+
+TEST(RequestTrace, BreakdownTelescopesExactly)
+{
+    RequestSpan s = madeSpan();
+    // waitQueue is the residual: the five components must sum to the
+    // total with no rounding (DESIGN.md §11).
+    EXPECT_EQ(s.waitQueue() + s.waitBlock + s.waitRefresh +
+                  s.rowLatency() + s.serviceLatency(),
+              s.totalLatency());
+    EXPECT_EQ(s.totalLatency(), 45u);
+    EXPECT_EQ(std::string(s.outcome()), "miss");
+    s.hasPre = true;
+    EXPECT_EQ(std::string(s.outcome()), "conflict");
+    s.forwarded = true;
+    EXPECT_EQ(std::string(s.outcome()), "forwarded");
+}
+
+TEST(RequestTrace, JsonlWriterEmitsVersionedSchemaAndFullSpans)
+{
+    std::ostringstream os;
+    SpanJsonlMeta meta;
+    meta.workload = "wl";
+    meta.design = "das";
+    meta.label = "lbl";
+    meta.seed = 99;
+    meta.rate = 0.5;
+    SpanJsonlWriter writer(os, meta);
+    writer.onSpan(madeSpan());
+    EXPECT_EQ(writer.spansWritten(), 1u);
+
+    std::istringstream is(os.str());
+    std::string line;
+    ASSERT_TRUE(std::getline(is, line));
+    JsonValue m;
+    std::string err;
+    ASSERT_TRUE(parseJson(line, m, &err)) << err;
+    EXPECT_EQ(str(m, "type"), "meta");
+    EXPECT_EQ(str(m, "schema"), kSpanJsonlSchema);
+    EXPECT_EQ(static_cast<int>(num(m, "version")), kSpanJsonlVersion);
+    EXPECT_EQ(str(m, "workload"), "wl");
+    EXPECT_EQ(num(m, "rate"), 0.5);
+
+    ASSERT_TRUE(std::getline(is, line));
+    JsonValue v;
+    ASSERT_TRUE(parseJson(line, v, &err)) << err;
+    EXPECT_EQ(str(v, "type"), "span");
+    EXPECT_EQ(str(v, "kind"), "read");
+    EXPECT_EQ(str(v, "class"), "fast");
+    EXPECT_EQ(str(v, "outcome"), "miss");
+    EXPECT_EQ(num(v, "admit"), 10.0);
+    EXPECT_EQ(num(v, "act"), 25.0);
+    EXPECT_EQ(num(v, "col"), 40.0);
+    EXPECT_EQ(num(v, "data"), 55.0);
+    EXPECT_EQ(v.find("pre"), nullptr); // no conflict, no PRE field
+    // The exported components reproduce the telescoping identity.
+    EXPECT_EQ(num(v, "waitQueue") + num(v, "waitBlock") +
+                  num(v, "waitRefresh") + num(v, "rowLat") +
+                  num(v, "service"),
+              num(v, "total"));
+}
+
+TEST(RequestTrace, AggregatorRoutesSpansToTheRightGroups)
+{
+    CriticalPathAggregator agg(/*num_tenants=*/2);
+
+    RequestSpan forwarded = madeSpan();
+    forwarded.forwarded = true;
+    agg.onSpan(forwarded);
+
+    RequestSpan write = madeSpan();
+    write.isWrite = true;
+    agg.onSpan(write);
+
+    RequestSpan walk = madeSpan(); // FastLevel: classFast + tableWalks
+    walk.isTableWalk = true;
+    walk.core = -1;
+    agg.onSpan(walk);
+
+    RequestSpan hit = madeSpan(); // core 0 demand: classRowHit + tenant0
+    hit.location = ServiceLocation::RowBuffer;
+    hit.core = 0;
+    agg.onSpan(hit);
+
+    RequestSpan slow = madeSpan(); // core 1 demand: classSlow + tenant1
+    slow.location = ServiceLocation::SlowLevel;
+    slow.core = 1;
+    agg.onSpan(slow);
+
+    EXPECT_EQ(agg.spansSeen(), 5u);
+    auto recs = parseGroup(const_cast<CriticalPathAggregator &>(agg)
+                               .stats());
+    EXPECT_EQ(num(recs.at("reqtrace.spans"), "value"), 5.0);
+    EXPECT_EQ(num(recs.at("reqtrace.forwarded.total"), "count"), 1.0);
+    EXPECT_EQ(num(recs.at("reqtrace.writes.total"), "count"), 1.0);
+    EXPECT_EQ(num(recs.at("reqtrace.classFast.total"), "count"), 1.0);
+    EXPECT_EQ(num(recs.at("reqtrace.tableWalks.total"), "count"), 1.0);
+    EXPECT_EQ(num(recs.at("reqtrace.classRowHit.total"), "count"), 1.0);
+    EXPECT_EQ(num(recs.at("reqtrace.classSlow.total"), "count"), 1.0);
+    EXPECT_EQ(num(recs.at("reqtrace.tenant0.total"), "count"), 1.0);
+    EXPECT_EQ(num(recs.at("reqtrace.tenant1.total"), "count"), 1.0);
+    // Component means reconcile: each group's components sum to its
+    // total mean (telescoping holds through aggregation).
+    const JsonValue &t = recs.at("reqtrace.classRowHit.total");
+    double parts = num(recs.at("reqtrace.classRowHit.waitQueue"), "mean") +
+                   num(recs.at("reqtrace.classRowHit.waitBlock"), "mean") +
+                   num(recs.at("reqtrace.classRowHit.waitRefresh"), "mean") +
+                   num(recs.at("reqtrace.classRowHit.rowLatency"), "mean") +
+                   num(recs.at("reqtrace.classRowHit.service"), "mean");
+    EXPECT_DOUBLE_EQ(parts, num(t, "mean"));
+}

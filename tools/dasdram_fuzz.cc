@@ -59,6 +59,10 @@ main(int argc, char **argv)
         .option("--engine", "E",
                 "harness engine: tick (walk every memory cycle, the "
                 "default) or event (skip to controller horizons)")
+        .optionDouble("--trace-requests", "RATE",
+                      "request-span sampling rate in [0,1]; plain runs "
+                      "attach a counting span sink, --differential "
+                      "additionally crosses RATE against sampling off")
         .option("--channel-threads", "N[,N...]",
                 "DramSystem channel-threading width (default 1); with "
                 "--differential, a comma list crosses every count "
@@ -86,6 +90,10 @@ main(int argc, char **argv)
     bool differential = cli.given("--differential");
     bool list_only = cli.given("--list");
     bool quiet = cli.given("--quiet");
+    double trace_requests = cli.dbl("--trace-requests", 0.0);
+    if (trace_requests < 0.0 || trace_requests > 1.0)
+        fatal("--trace-requests needs a rate in [0, 1], got {}",
+              trace_requests);
 
     // --channel-threads: a single count for plain runs; a comma list
     // crosses all of them against both engines under --differential.
@@ -136,6 +144,7 @@ main(int argc, char **argv)
         c.engine = engine;
         c.workload = workload;
         c.channelThreads = thread_counts.front();
+        c.traceRequests = trace_requests;
         std::string replay_wl =
             workload.empty() ? "" : " --workload '" + workload + "'";
         if (differential) {
@@ -208,13 +217,19 @@ main(int argc, char **argv)
         if (rep.ok()) {
             if (!quiet) {
                 std::printf("ok   %-24s seed=%llu commands=%llu "
-                            "migrations=%llu\n",
+                            "migrations=%llu",
                             rep.name.c_str(),
                             static_cast<unsigned long long>(rep.seed),
                             static_cast<unsigned long long>(
                                 rep.commands),
                             static_cast<unsigned long long>(
                                 rep.migrationsDone));
+                if (trace_requests > 0.0) {
+                    std::printf(" spans=%llu",
+                                static_cast<unsigned long long>(
+                                    rep.spansEmitted));
+                }
+                std::printf("\n");
             }
             continue;
         }

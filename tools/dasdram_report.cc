@@ -41,6 +41,7 @@
 #include "common/cli.hh"
 #include "common/json.hh"
 #include "common/log.hh"
+#include "common/stats_jsonl.hh"
 
 using namespace dasdram;
 
@@ -54,6 +55,7 @@ constexpr double kMemCycleNs = 1.25;
 struct StatsFile
 {
     std::string path;
+    int version = -1;                        ///< meta schema version
     JsonValue meta;                          ///< the meta record
     std::map<std::string, JsonValue> records; ///< all typed records
 };
@@ -92,9 +94,22 @@ loadStatsFile(const std::string &path)
             fatal("{}:{}: malformed JSON: {}", path, lineno, err);
         std::string type = strField(v, "type");
         if (type == "meta") {
-            if (strField(v, "schema") != "dasdram-stats") {
-                fatal("{}: not a dasdram-stats file (schema '{}')",
-                      path, strField(v, "schema"));
+            if (strField(v, "schema") != kStatsJsonlSchema) {
+                fatal("{}: not a {} file (schema '{}')", path,
+                      kStatsJsonlSchema, strField(v, "schema"));
+            }
+            file.version =
+                static_cast<int>(numField(v, "version", -1.0));
+            if (file.version < 0) {
+                fatal("{}: meta record has no schema version — "
+                      "is this a stats-JSONL dump?",
+                      path);
+            }
+            if (file.version > kStatsJsonlVersion) {
+                fatal("{}: stats-JSONL version {} is newer than this "
+                      "tool understands (version {}); rebuild "
+                      "dasdram_report",
+                      path, file.version, kStatsJsonlVersion);
             }
             file.meta = std::move(v);
         } else if (type == "epoch") {
@@ -145,8 +160,9 @@ headline(const JsonValue &rec)
 void
 listRecords(const StatsFile &f)
 {
-    std::printf("%s  (workload=%s design=%s label=%s)\n",
-                f.path.c_str(), strField(f.meta, "workload").c_str(),
+    std::printf("%s  (schema v%d workload=%s design=%s label=%s)\n",
+                f.path.c_str(), f.version,
+                strField(f.meta, "workload").c_str(),
                 strField(f.meta, "design").c_str(),
                 strField(f.meta, "label").c_str());
     for (const auto &[key, rec] : f.records) {
@@ -229,6 +245,20 @@ main(int argc, char **argv)
     std::vector<StatsFile> files;
     for (const std::string &p : paths)
         files.push_back(loadStatsFile(p));
+
+    // Comparing dumps with different record shapes silently produces
+    // nonsense deltas; refuse mixed schema versions up front.
+    for (const StatsFile &f : files) {
+        std::printf("%s: stats-JSONL schema version %d\n",
+                    f.path.c_str(), f.version);
+        if (f.version != files.front().version) {
+            fatal("stats-JSONL version mismatch: '{}' is version {} "
+                  "but '{}' is version {}; re-run the older dump with "
+                  "a matching build before diffing",
+                  files.front().path, files.front().version, f.path,
+                  f.version);
+        }
+    }
 
     if (list_only) {
         for (const StatsFile &f : files)

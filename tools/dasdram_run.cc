@@ -168,6 +168,12 @@ main(int argc, char **argv)
         .option("--record", "PREFIX",
                 "capture each core's trace to PREFIX.core<i>.dastrace "
                 "(direct rerun)")
+        .optionDouble("--trace-requests", "RATE",
+                      "sample RATE of memory requests with lifecycle "
+                      "spans, 0..1 (direct rerun)")
+        .option("--spans-out", "FILE",
+                "request-span JSONL export; needs --trace-requests "
+                "(direct rerun)")
         .optionUInt("--epoch", "N",
                     "stats time-series epoch in memory cycles (0 = off)")
         .optionUInt("--channel-threads", "N",
@@ -272,9 +278,16 @@ main(int argc, char **argv)
     std::string trace_out = cli.str("--trace-out");
     std::string stats_out = cli.str("--stats-out");
     std::string record_prefix = cli.str("--record");
+    double trace_requests = cli.dbl("--trace-requests", 0.0);
+    std::string spans_out = cli.str("--spans-out");
+    if (!spans_out.empty() && trace_requests <= 0.0)
+        fatal("--spans-out requires --trace-requests > 0");
+    if (trace_requests < 0.0 || trace_requests > 1.0)
+        fatal("--trace-requests must be in [0, 1], got {}",
+              trace_requests);
     if (cli.given("--stats") || !trace_path.empty() ||
         !trace_out.empty() || !stats_out.empty() ||
-        !record_prefix.empty()) {
+        !record_prefix.empty() || trace_requests > 0.0) {
         // Re-run with direct System access for the stats tree, the
         // command trace, the observability exports and/or the trace
         // recording, using the same effective seed as the sweep point
@@ -286,6 +299,8 @@ main(int argc, char **argv)
         scfg.obs.workloadName = w.name;
         scfg.obs.statsOut = stats_out;
         scfg.obs.traceOut = trace_out;
+        scfg.obs.traceRequests = trace_requests;
+        scfg.obs.spansOut = spans_out;
         auto traces = buildTraces(w, scfg.seed, scfg.geom.rowBytes,
                                   scfg.geom.lineBytes);
         std::vector<std::unique_ptr<TraceRecorder>> recorders;
@@ -312,6 +327,11 @@ main(int argc, char **argv)
         for (auto &rec : recorders) {
             rec->close();
             inform("recorded {} trace record(s)", rec->recorded());
+        }
+        if (const RequestTracer *t = sys.requestTracer()) {
+            inform("request tracing: sampled {} of {} requests "
+                   "(rate {})",
+                   t->sampled(), t->decisions(), t->rate());
         }
         if (cli.given("--stats"))
             sys.dumpStats(std::cout);
