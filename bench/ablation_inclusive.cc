@@ -26,6 +26,7 @@ main(int argc, char **argv)
     const std::vector<std::string> &benches = specBenchmarks();
 
     SweepRunner sweep(base, opts.jobs);
+    benchutil::configureSweep(sweep, opts);
     for (const std::string &bench : benches) {
         sweep.add(WorkloadSpec::single(bench), DesignKind::Das,
                   [](SimConfig &c) { c.das.exclusiveCache = true; },

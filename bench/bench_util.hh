@@ -61,10 +61,17 @@ struct BenchOptions
     /** Sample latency/occupancy histograms (--no-histograms turns the
      *  sample path off, e.g. for overhead measurements). */
     bool histograms = true;
+    /** When non-empty, fork every sweep point from the shared warmed
+     *  checkpoint of its config fingerprint in this directory
+     *  (created on demand): the first run of a fingerprint publishes
+     *  `warm_<fp>.ckpt`, later runs restore it and skip warm-up
+     *  re-simulation bit-identically (see DESIGN.md §12). */
+    std::string warmDir;
 };
 
 /** Parse the shared bench options (--jobs/-j, --json, --check/
- *  --no-check, --stats-dir, --epoch, --histograms/--no-histograms);
+ *  --no-check, --stats-dir, --epoch, --histograms/--no-histograms,
+ *  --warm-dir);
  *  fatal on unknown arguments, prints generated usage on --help. */
 inline BenchOptions
 parseBenchArgs(int argc, char **argv)
@@ -83,7 +90,10 @@ parseBenchArgs(int argc, char **argv)
         .optionUInt("--epoch", "N",
                     "stats time-series epoch in memory cycles (0 = off)")
         .toggle("--histograms",
-                "latency/occupancy histogram sampling (default on)");
+                "latency/occupancy histogram sampling (default on)")
+        .option("--warm-dir", "DIR",
+                "fork every point from the shared warmed checkpoint in "
+                "DIR; re-running against the same DIR skips warm-up");
     cli.parse(argc, argv);
 
     BenchOptions opts;
@@ -102,7 +112,17 @@ parseBenchArgs(int argc, char **argv)
     opts.statsDir = cli.str("--stats-dir");
     opts.epochMemCycles = cli.uns("--epoch", 0);
     opts.histograms = cli.enabled("--histograms", opts.histograms);
+    opts.warmDir = cli.str("--warm-dir");
     return opts;
+}
+
+/** Apply the sweep-level bench options (today: --warm-dir) to a
+ *  freshly constructed SweepRunner. Call before sweep.run(). */
+inline void
+configureSweep(SweepRunner &sweep, const BenchOptions &opts)
+{
+    if (!opts.warmDir.empty())
+        sweep.setWarmStartDir(opts.warmDir);
 }
 
 inline SimConfig

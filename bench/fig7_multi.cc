@@ -28,6 +28,7 @@ main(int argc, char **argv)
     const std::size_t num_mixes = specMixes().size();
 
     SweepRunner sweep(cfg, opts.jobs);
+    benchutil::configureSweep(sweep, opts);
     for (std::size_t mi = 0; mi < num_mixes; ++mi)
         for (DesignKind d : designs)
             sweep.add(WorkloadSpec::mix(mi), d);

@@ -29,6 +29,7 @@ main(int argc, char **argv)
     const std::vector<DesignKind> &designs = evaluatedDesigns();
 
     SweepRunner sweep(cfg, opts.jobs);
+    benchutil::configureSweep(sweep, opts);
     for (const std::string &bench : benches)
         for (DesignKind d : designs)
             sweep.add(WorkloadSpec::single(bench), d);

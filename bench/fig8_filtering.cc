@@ -33,6 +33,7 @@ main(int argc, char **argv)
     // standard baseline, so all four points of a benchmark share its
     // memoised baseline (the documented override contract).
     SweepRunner sweep(base, opts.jobs);
+    benchutil::configureSweep(sweep, opts);
     for (const std::string &bench : benches) {
         for (unsigned th : kThresholds) {
             sweep.add(WorkloadSpec::single(bench), DesignKind::Das,

@@ -27,6 +27,7 @@ main(int argc, char **argv)
     const std::vector<std::string> &benches = specBenchmarks();
 
     SweepRunner sweep(base, opts.jobs);
+    benchutil::configureSweep(sweep, opts);
     for (const std::string &bench : benches) {
         for (std::size_t i = 0; i < 4; ++i) {
             std::uint64_t cap = kCapacities[i];

@@ -24,6 +24,7 @@ main(int argc, char **argv)
     const std::vector<std::string> &benches = specBenchmarks();
 
     SweepRunner sweep(base, opts.jobs);
+    benchutil::configureSweep(sweep, opts);
     for (const std::string &bench : benches) {
         for (unsigned g : kGroups) {
             sweep.add(WorkloadSpec::single(bench), DesignKind::Das,

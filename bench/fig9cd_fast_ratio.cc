@@ -64,6 +64,7 @@ main(int argc, char **argv)
     // standard baseline is simulated once and shared by all 8 of its
     // points (the ratio and policy only exist in the DAS design).
     SweepRunner sweep(base, opts.jobs);
+    benchutil::configureSweep(sweep, opts);
     for (std::size_t p = 0; p < 2; ++p) {
         FastReplPolicy repl = kRepls[p];
         for (const std::string &bench : benches) {

@@ -128,6 +128,22 @@ Cache::invalidate(Addr addr)
     return was_dirty;
 }
 
+void
+Cache::serdeState(Archive &ar)
+{
+    ar.section("cache");
+    ar.expectCount(lines_.size(), "cache lines");
+    for (Line &l : lines_) {
+        ar.io(l.tag);
+        ar.io(l.valid);
+        ar.io(l.dirty);
+        ar.io(l.stamp);
+    }
+    ar.io(stampCounter_);
+    rng_.serdeState(ar);
+    ar.end();
+}
+
 double
 Cache::occupancy() const
 {

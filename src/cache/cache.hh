@@ -97,6 +97,10 @@ class Cache
     /** Fraction of lines currently valid (for warm-up checks). */
     double occupancy() const;
 
+    /** Checkpoint directory contents, recency stamps and the
+     *  replacement RNG (stats ride the owner's StatGroup tree). */
+    void serdeState(Archive &ar);
+
     StatGroup &stats() { return statGroup_; }
 
   private:

@@ -98,6 +98,21 @@ class CacheHierarchy
     /** LLC misses from CPU demand accesses (for MPKI). */
     std::uint64_t demandLlcMisses() const { return demandMisses_.value(); }
 
+    /** Checkpoint every level's directory (geometry is config-derived;
+     *  a per-level shape mismatch is fatal inside Cache). */
+    void
+    serdeState(Archive &ar)
+    {
+        ar.section("hierarchy");
+        ar.expectCount(l1_.size(), "private cache pairs");
+        for (auto &c : l1_)
+            c->serdeState(ar);
+        for (auto &c : l2_)
+            c->serdeState(ar);
+        llc_->serdeState(ar);
+        ar.end();
+    }
+
     StatGroup &stats() { return statGroup_; }
 
   private:

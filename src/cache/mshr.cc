@@ -1,5 +1,7 @@
 #include "mshr.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace dasdram
@@ -28,12 +30,12 @@ MshrFile::allocate(Addr line)
 }
 
 void
-MshrFile::addWaiter(Addr line, Waiter w)
+MshrFile::addWaiter(Addr line, Continuation w)
 {
     auto it = entries_.find(line);
     if (it == entries_.end())
         panic("MSHR addWaiter without outstanding entry");
-    it->second.push_back(std::move(w));
+    it->second.push_back(w);
     coalesced_.inc();
 }
 
@@ -43,10 +45,49 @@ MshrFile::complete(Addr line, Cycle tick)
     auto it = entries_.find(line);
     if (it == entries_.end())
         panic("MSHR complete without outstanding entry");
-    std::vector<Waiter> waiters = std::move(it->second);
+    std::vector<Continuation> waiters = std::move(it->second);
     entries_.erase(it);
-    for (Waiter &w : waiters)
-        w(line, tick);
+    if (!dispatch_ && !waiters.empty())
+        panic("MSHR complete with waiters but no dispatcher");
+    for (const Continuation &w : waiters)
+        dispatch_(w, line, tick);
+}
+
+void
+MshrFile::serdeState(Archive &ar)
+{
+    ar.section("mshr");
+    std::uint64_t n = entries_.size();
+    ar.io(n);
+    if (ar.saving()) {
+        std::vector<Addr> lines;
+        lines.reserve(entries_.size());
+        for (const auto &kv : entries_)
+            lines.push_back(kv.first);
+        std::sort(lines.begin(), lines.end());
+        for (Addr line : lines) {
+            ar.io(line);
+            auto &waiters = entries_.at(line);
+            std::uint64_t w = waiters.size();
+            ar.io(w);
+            for (Continuation &c : waiters)
+                c.serdeState(ar);
+        }
+    } else {
+        entries_.clear();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            Addr line = 0;
+            ar.io(line);
+            std::uint64_t w = 0;
+            ar.io(w);
+            std::vector<Continuation> waiters(
+                static_cast<std::size_t>(w));
+            for (Continuation &c : waiters)
+                c.serdeState(ar);
+            entries_.emplace(line, std::move(waiters));
+        }
+    }
+    ar.end();
 }
 
 } // namespace dasdram

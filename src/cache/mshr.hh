@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/continuation.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -20,14 +21,23 @@ namespace dasdram
 /**
  * Tracks in-flight line fills. Capacity-limited; callers must check
  * full() before allocating and stall otherwise.
+ *
+ * Waiters are serialisable Continuation tokens, not closures: the
+ * owner installs one dispatcher that interprets every completed token,
+ * so entries in flight at checkpoint time round-trip through a
+ * snapshot and resume under the restored owner's dispatcher.
  */
 class MshrFile
 {
   public:
-    /** Waiter callback: (line address, fill completion tick). */
-    using Waiter = std::function<void(Addr, Cycle)>;
+    /** Dispatcher: (waiter token, line address, completion tick). */
+    using Dispatcher =
+        std::function<void(const Continuation &, Addr, Cycle)>;
 
     explicit MshrFile(unsigned capacity, std::string name = "mshr");
+
+    /** Install the waiter interpreter (required before complete()). */
+    void setDispatcher(Dispatcher d) { dispatch_ = std::move(d); }
 
     /** True iff a miss to @p line is already outstanding. */
     bool outstanding(Addr line) const
@@ -44,7 +54,7 @@ class MshrFile
     void allocate(Addr line);
 
     /** Add a waiter to an outstanding entry. @pre outstanding(line). */
-    void addWaiter(Addr line, Waiter w);
+    void addWaiter(Addr line, Continuation w);
 
     /**
      * Complete the fill for @p line at @p tick: runs and removes all
@@ -60,9 +70,18 @@ class MshrFile
 
     StatGroup &stats() { return statGroup_; }
 
+    /**
+     * Checkpoint outstanding entries and their waiter tokens. Entries
+     * are written sorted by line address — the hash iteration order
+     * never affects behaviour (complete() is per-line), so sorting
+     * costs nothing and keeps snapshot bytes deterministic.
+     */
+    void serdeState(Archive &ar);
+
   private:
     unsigned capacity_;
-    std::unordered_map<Addr, std::vector<Waiter>> entries_;
+    std::unordered_map<Addr, std::vector<Continuation>> entries_;
+    Dispatcher dispatch_;
 
     StatGroup statGroup_;
     Counter allocations_, coalesced_;

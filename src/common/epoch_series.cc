@@ -114,6 +114,28 @@ EpochSeries::restart(Cycle now)
 }
 
 void
+EpochSeries::serdeState(Archive &ar)
+{
+    ar.section("epochSeries");
+    ar.io(epochLength_);
+    ar.io(base_);
+    ar.io(nextIndex_);
+    ar.expectCount(names_.size(), "epoch-series tracked stats");
+    ar.io(prev_);
+    std::uint64_t n = epochs_.size();
+    ar.io(n);
+    if (ar.loading())
+        epochs_.resize(static_cast<std::size_t>(n));
+    for (Epoch &e : epochs_) {
+        ar.io(e.index);
+        ar.io(e.start);
+        ar.io(e.end);
+        ar.io(e.deltas);
+    }
+    ar.end();
+}
+
+void
 EpochSeries::flush(Cycle now)
 {
     // Emit any still-pending complete epochs first: a fast-forwarding

@@ -91,6 +91,15 @@ class EpochSeries
     const std::vector<std::string> &names() const { return names_; }
     const std::vector<Epoch> &epochs() const { return epochs_; }
 
+    /**
+     * Checkpoint the grid alignment, the per-stat baseline at the last
+     * boundary and the completed-epoch history, so a restored run's
+     * flushed series matches the straight run exactly — including a
+     * checkpoint taken mid-epoch. The tracked-name set is derived from
+     * the stat tree; a shape mismatch is fatal.
+     */
+    void serdeState(Archive &ar);
+
   private:
     /** Read the current value of every tracked stat into @p out. */
     void collect(std::vector<double> &out) const;

@@ -11,6 +11,8 @@
 
 #include <cstdint>
 
+#include "common/serde.hh"
+
 namespace dasdram
 {
 
@@ -45,6 +47,14 @@ class Rng
      * Implemented by inverse-CDF over a coarse table for speed.
      */
     std::uint64_t nextZipf(std::uint64_t n, double s);
+
+    /** Checkpoint the full generator state. */
+    void
+    serdeState(Archive &ar)
+    {
+        for (std::uint64_t &s : s_)
+            ar.io(s);
+    }
 
   private:
     std::uint64_t s_[4];

@@ -1,0 +1,31 @@
+#include "schema_check.hh"
+
+#include "common/log.hh"
+
+namespace dasdram
+{
+
+int
+checkJsonlSchema(const std::string &path,
+                 const std::string &expect_schema,
+                 const std::string &got_schema, int got_version,
+                 int supported, const char *tool)
+{
+    if (got_schema != expect_schema) {
+        fatal("{}: not a {} file (schema '{}')", path, expect_schema,
+              got_schema);
+    }
+    if (got_version < 0) {
+        fatal("{}: meta record has no schema version — is this a {} "
+              "dump?",
+              path, expect_schema);
+    }
+    if (got_version > supported) {
+        fatal("{}: {} version {} is newer than this tool understands "
+              "(version {}); rebuild {}",
+              path, expect_schema, got_version, supported, tool);
+    }
+    return got_version;
+}
+
+} // namespace dasdram

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Shared schema-version negotiation for the JSONL dump readers.
+ * Every dump (stats-JSONL, span-JSONL) opens with a meta record
+ * carrying a schema name and an integer version; every reader applies
+ * the same policy through this one helper: a wrong schema name is a
+ * wrong file, a missing version is a malformed dump, and a version
+ * newer than the reader understands is refused (never misread) —
+ * older versions load, the writer promises forward-compatible
+ * additions only within a major schema name.
+ */
+
+#ifndef DASDRAM_COMMON_SCHEMA_CHECK_HH
+#define DASDRAM_COMMON_SCHEMA_CHECK_HH
+
+#include <string>
+
+namespace dasdram
+{
+
+/**
+ * Validate the schema identity of a JSONL meta record; fatal() with a
+ * @p path-prefixed message on any mismatch. Returns the validated
+ * version.
+ *
+ * @param path           the dump being read (error context)
+ * @param expect_schema  the schema this reader consumes
+ * @param got_schema     the meta record's "schema" field
+ * @param got_version    the meta record's "version" field, < 0 when
+ *                       absent or non-numeric
+ * @param supported      newest version this reader understands
+ * @param tool           reader name for the "rebuild X" hint
+ */
+int checkJsonlSchema(const std::string &path,
+                     const std::string &expect_schema,
+                     const std::string &got_schema, int got_version,
+                     int supported, const char *tool);
+
+} // namespace dasdram
+
+#endif // DASDRAM_COMMON_SCHEMA_CHECK_HH

@@ -1,0 +1,123 @@
+#include "serde.hh"
+
+#include "common/binfmt.hh"
+#include "common/log.hh"
+
+namespace dasdram
+{
+
+Archive::Archive() : saving_(true) {}
+
+Archive::Archive(std::vector<unsigned char> payload)
+    : saving_(false), buf_(std::move(payload))
+{
+}
+
+void
+Archive::raw64(std::uint64_t &v)
+{
+    if (saving_) {
+        binfmt::appendLe(buf_, v, 8);
+        return;
+    }
+    if (pos_ + 8 > buf_.size())
+        fatal("snapshot stream truncated mid-field (offset {})", pos_);
+    v = binfmt::getLe(buf_.data() + pos_, 8);
+    pos_ += 8;
+}
+
+void
+Archive::io(std::string &s)
+{
+    std::uint64_t n = s.size();
+    raw64(n);
+    if (saving_) {
+        buf_.insert(buf_.end(), s.begin(), s.end());
+        return;
+    }
+    if (pos_ + n > buf_.size())
+        fatal("snapshot stream truncated mid-string (offset {})", pos_);
+    s.assign(reinterpret_cast<const char *>(buf_.data()) + pos_,
+             static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+}
+
+void
+Archive::blob(void *p, std::size_t n)
+{
+    if (saving_) {
+        const auto *b = static_cast<const unsigned char *>(p);
+        buf_.insert(buf_.end(), b, b + n);
+        return;
+    }
+    if (pos_ + n > buf_.size())
+        fatal("snapshot stream truncated mid-blob (offset {})", pos_);
+    std::memcpy(p, buf_.data() + pos_, n);
+    pos_ += n;
+}
+
+void
+Archive::section(const char *name)
+{
+    std::string s = name;
+    io(s);
+    if (!saving_ && s != name)
+        fatal("snapshot section mismatch: expected '{}', found '{}'",
+              name, s);
+    if (saving_) {
+        stack_.push_back(buf_.size());
+        binfmt::appendLe(buf_, 0, 8); // length placeholder
+    } else {
+        std::uint64_t len = 0;
+        raw64(len);
+        if (pos_ + len > buf_.size())
+            fatal("snapshot section '{}' overruns the stream", name);
+        stack_.push_back(pos_ + static_cast<std::size_t>(len));
+    }
+}
+
+void
+Archive::end()
+{
+    if (stack_.empty())
+        panic("Archive::end without a matching section");
+    std::size_t top = stack_.back();
+    stack_.pop_back();
+    if (saving_) {
+        binfmt::putLe(buf_.data() + top, buf_.size() - top - 8, 8);
+    } else if (pos_ != top) {
+        fatal("snapshot section length mismatch: {} byte(s) "
+              "unconsumed", top - pos_);
+    }
+}
+
+void
+Archive::expectCount(std::uint64_t n, const char *what)
+{
+    std::uint64_t saved = n;
+    raw64(saved);
+    if (!saving_ && saved != n)
+        fatal("snapshot shape mismatch for {}: file has {}, this "
+              "configuration builds {}",
+              what, saved, n);
+}
+
+std::vector<unsigned char>
+Archive::take()
+{
+    if (!stack_.empty())
+        panic("Archive::take with {} open section(s)", stack_.size());
+    return std::move(buf_);
+}
+
+void
+Archive::finish()
+{
+    if (!stack_.empty())
+        panic("Archive::finish with {} open section(s)", stack_.size());
+    if (pos_ != buf_.size())
+        fatal("snapshot payload has {} trailing byte(s)",
+              buf_.size() - pos_);
+}
+
+} // namespace dasdram

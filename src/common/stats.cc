@@ -279,4 +279,21 @@ StatGroup::resetAll()
         child->resetAll();
 }
 
+void
+StatGroup::serdeTree(Archive &ar)
+{
+    ar.expectCount(counters_.size(), "stat counters");
+    for (const auto &e : counters_)
+        e.counter->serdeState(ar);
+    ar.expectCount(dists_.size(), "stat distributions");
+    for (const auto &e : dists_)
+        e.dist->serdeState(ar);
+    ar.expectCount(hists_.size(), "stat histograms");
+    for (const auto &e : hists_)
+        e.hist->serdeState(ar);
+    ar.expectCount(children_.size(), "stat child groups");
+    for (StatGroup *child : children_)
+        child->serdeTree(ar);
+}
+
 } // namespace dasdram

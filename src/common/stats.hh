@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "common/serde.hh"
+
 namespace dasdram
 {
 
@@ -33,6 +35,8 @@ class Counter
     void set(std::uint64_t v) { value_ = v; }
     std::uint64_t value() const { return value_; }
     void reset() { value_ = 0; }
+
+    void serdeState(Archive &ar) { ar.io(value_); }
 
   private:
     std::uint64_t value_ = 0;
@@ -64,6 +68,15 @@ class Distribution
     double min() const { return count_ ? min_ : 0.0; }
     double max() const { return count_ ? max_ : 0.0; }
     double sum() const { return sum_; }
+
+    void
+    serdeState(Archive &ar)
+    {
+        ar.io(count_);
+        ar.io(sum_);
+        ar.io(min_);
+        ar.io(max_);
+    }
 
   private:
     std::uint64_t count_ = 0;
@@ -149,6 +162,17 @@ class Histogram
     std::uint64_t bucketCount(std::size_t i) const { return buckets_[i]; }
     /// @}
 
+    void
+    serdeState(Archive &ar)
+    {
+        for (std::uint64_t &b : buckets_)
+            ar.io(b);
+        ar.io(count_);
+        ar.io(sum_);
+        ar.io(min_);
+        ar.io(max_);
+    }
+
   private:
     std::array<std::uint64_t, kNumBuckets> buckets_{};
     std::uint64_t count_ = 0;
@@ -229,6 +253,14 @@ class StatGroup
 
     /** Reset all counters/distributions/histograms, recursively. */
     void resetAll();
+
+    /**
+     * Checkpoint every counter/distribution/histogram in the tree in
+     * registration order (formulas are derived — recomputed, never
+     * stored). The registration shape is config-derived, so a load
+     * into a differently shaped tree is fatal.
+     */
+    void serdeTree(Archive &ar);
 
   private:
     struct CounterEntry

@@ -100,7 +100,7 @@ DasManager::resetStats()
 }
 
 void
-DasManager::access(Addr addr, bool is_write, int core, DoneFn done,
+DasManager::access(Addr addr, bool is_write, int core, Continuation cont,
                    Cycle now, std::unique_ptr<RequestSpan> span)
 {
     DramLoc loc = dram_->decode(addr);
@@ -111,7 +111,7 @@ DasManager::access(Addr addr, bool is_write, int core, DoneFn done,
     acc.logical = makeGlobalRowId(dram_->geometry(), loc.channel, loc.rank,
                                   loc.bank, loc.row);
     acc.readyTick = now;
-    acc.done = std::move(done);
+    acc.cont = cont;
     acc.span = std::move(span);
 
     demandAccesses_.inc();
@@ -196,20 +196,29 @@ DasManager::access(Addr addr, bool is_write, int core, DoneFn done,
             ts.submitTick = now;
         }
     }
-    req->onComplete = [this, tline](MemRequest &treq, Cycle at) {
-        // Install the table line in the LLC for later walks and release
-        // every access waiting on it.
-        caches_->fillLlcOnly(treq.addr, nullptr);
-        auto node = walksInFlight_.extract(tline);
-        for (PendingAccess &waiting : node.mapped()) {
-            tc_->insert(waiting.logical);
-            waiting.readyTick = at;
-            if (waiting.span)
-                waiting.span->transDoneTick = at;
-            pending_.push_back(std::move(waiting));
-        }
+    req->onComplete = [this](MemRequest &treq, Cycle at) {
+        onWalkComplete(treq, at);
     };
     dram_->submit(std::move(req), now);
+}
+
+void
+DasManager::onWalkComplete(MemRequest &treq, Cycle at)
+{
+    // Install the table line in the LLC for later walks and release
+    // every access waiting on it. The table line is the request's own
+    // address, so this path is fully reconstructible after a restore.
+    caches_->fillLlcOnly(treq.addr, nullptr);
+    auto node = walksInFlight_.extract(treq.addr);
+    if (node.empty())
+        panic("table walk completed with no waiting accesses");
+    for (PendingAccess &waiting : node.mapped()) {
+        tc_->insert(waiting.logical);
+        waiting.readyTick = at;
+        if (waiting.span)
+            waiting.span->transDoneTick = at;
+        pending_.push_back(std::move(waiting));
+    }
 }
 
 void
@@ -241,16 +250,15 @@ DasManager::submitReady(PendingAccess &&acc, Cycle now)
     req->span = std::move(acc.span);
     if (req->span)
         req->span->submitTick = now;
-    DoneFn done = std::move(acc.done);
-    req->onComplete = [this, done = std::move(done)](MemRequest &r,
-                                                     Cycle at) {
-        onDataComplete(r, at, done);
+    req->cont = acc.cont;
+    req->onComplete = [this](MemRequest &r, Cycle at) {
+        onDataComplete(r, at);
     };
     dram_->submit(std::move(req), now);
 }
 
 void
-DasManager::onDataComplete(MemRequest &req, Cycle at, const DoneFn &done)
+DasManager::onDataComplete(MemRequest &req, Cycle at)
 {
     switch (req.location) {
       case ServiceLocation::RowBuffer:
@@ -293,8 +301,8 @@ DasManager::onDataComplete(MemRequest &req, Cycle at, const DoneFn &done)
         }
     }
 
-    if (done)
-        done(at);
+    if (completionHook_)
+        completionHook_(req.cont, at);
 }
 
 void
@@ -353,7 +361,8 @@ DasManager::maybePromote(GlobalRowId logical, Cycle now)
                           row_lo + layout_->groupSize(),
                           [this, group](Cycle) {
                               swapsInFlight_.erase(group);
-                          });
+                          },
+                          group);
 }
 
 void
@@ -409,7 +418,8 @@ DasManager::maybePromoteInclusive(GlobalRowId logical, Cycle now)
                           row_lo + layout_->groupSize(),
                           [this, group](Cycle) {
                               swapsInFlight_.erase(group);
-                          });
+                          },
+                          group);
 }
 
 void
@@ -436,6 +446,115 @@ DasManager::nextWakeTick(Cycle now) const
     for (const PendingAccess &acc : pending_)
         next = std::min(next, std::max(acc.readyTick, now + 1));
     return next;
+}
+
+void
+DasManager::serdeState(Archive &ar)
+{
+    ar.section("dasManager");
+    table_->serdeState(ar);
+    bool has_incl = incl_ != nullptr;
+    ar.io(has_incl);
+    if (has_incl != (incl_ != nullptr))
+        fatal("checkpoint: inclusive-directory presence mismatch "
+              "(mode/exclusivity changed?)");
+    if (incl_)
+        incl_->serdeState(ar);
+    bool dynamic = tc_ != nullptr;
+    ar.io(dynamic);
+    if (dynamic != (tc_ != nullptr))
+        fatal("checkpoint: management-mode mismatch");
+    if (tc_) {
+        tc_->serdeState(ar);
+        filter_->serdeState(ar);
+        repl_->serdeState(ar);
+    }
+
+    // Retry queue, in original order.
+    std::uint64_t n = pending_.size();
+    ar.io(n);
+    if (ar.loading())
+        pending_.resize(static_cast<std::size_t>(n));
+    for (PendingAccess &acc : pending_)
+        acc.serdeState(ar);
+
+    // In-flight walks: iterate table lines in sorted order so the
+    // byte stream does not depend on hash-table layout. Waiter order
+    // within a line is the coalescing order and is preserved.
+    std::uint64_t walks = walksInFlight_.size();
+    ar.io(walks);
+    if (ar.saving()) {
+        std::vector<Addr> lines;
+        lines.reserve(walksInFlight_.size());
+        for (const auto &kv : walksInFlight_)
+            lines.push_back(kv.first);
+        std::sort(lines.begin(), lines.end());
+        for (Addr line : lines) {
+            Addr key = line;
+            ar.io(key);
+            auto &waiters = walksInFlight_[line];
+            std::uint64_t w = waiters.size();
+            ar.io(w);
+            for (PendingAccess &acc : waiters)
+                acc.serdeState(ar);
+        }
+    } else {
+        walksInFlight_.clear();
+        for (std::uint64_t i = 0; i < walks; ++i) {
+            Addr key = 0;
+            ar.io(key);
+            std::uint64_t w = 0;
+            ar.io(w);
+            auto &waiters = walksInFlight_[key];
+            waiters.resize(static_cast<std::size_t>(w));
+            for (PendingAccess &acc : waiters)
+                acc.serdeState(ar);
+        }
+    }
+
+    auto serde_u64_set = [&ar](auto &set) {
+        std::uint64_t count = set.size();
+        ar.io(count);
+        if (ar.saving()) {
+            std::vector<std::uint64_t> sorted(set.begin(), set.end());
+            std::sort(sorted.begin(), sorted.end());
+            for (std::uint64_t v : sorted)
+                ar.io(v);
+        } else {
+            set.clear();
+            set.reserve(static_cast<std::size_t>(count));
+            for (std::uint64_t i = 0; i < count; ++i) {
+                std::uint64_t v = 0;
+                ar.io(v);
+                set.insert(v);
+            }
+        }
+    };
+    serde_u64_set(swapsInFlight_);
+    serde_u64_set(touchedRows_);
+    ar.end();
+}
+
+void
+DasManager::rebindInFlight()
+{
+    dram_->rebindRequests(
+        [this](const MemRequest &req) -> MemRequest::Callback {
+            if (req.isTableAccess)
+                return [this](MemRequest &r, Cycle at) {
+                    onWalkComplete(r, at);
+                };
+            return [this](MemRequest &r, Cycle at) {
+                onDataComplete(r, at);
+            };
+        });
+    dram_->rebindMigrations(
+        [this](const MigrationJob &job) -> std::function<void(Cycle)> {
+            if (job.group == MigrationJob::kNoGroup)
+                return nullptr;
+            const std::uint64_t group = job.group;
+            return [this, group](Cycle) { swapsInFlight_.erase(group); };
+        });
 }
 
 } // namespace dasdram

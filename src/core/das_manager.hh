@@ -89,7 +89,14 @@ struct LocationStats
 class DasManager
 {
   public:
-    using DoneFn = std::function<void(Cycle)>;
+    /**
+     * Receiver for completed-access continuations: called with the
+     * token the access was issued with and the completion tick.
+     * Installed once by the owning System; tokens of kind None are
+     * delivered too (the hook decides they are no-ops).
+     */
+    using CompletionHook =
+        std::function<void(const Continuation &, Cycle)>;
 
     /**
      * @param caches may be null only when mode != Dynamic (table walks
@@ -99,19 +106,25 @@ class DasManager
                const AsymmetricLayout &layout, const DasConfig &cfg);
 
     /**
-     * Issue a memory access for line @p addr. @p done fires with the
-     * completion tick (possibly synchronously is never the case here:
-     * DRAM always takes time; but forwarded reads may complete at a
-     * near tick). Writes may pass a no-op @p done.
-     */
-    /**
+     * Issue a memory access for line @p addr. When the access
+     * completes, @p cont is delivered to the completion hook with the
+     * completion tick (DRAM always takes time; forwarded reads may
+     * complete at a near tick). Writes may pass a default-constructed
+     * (None) token.
+     *
      * @p span, when non-null, is the lifecycle record of a sampled
      * request: the manager stamps the translation stage onto it and
      * hands it to the MemRequest when the access is submitted to
      * DRAM. Strictly observational.
      */
-    void access(Addr addr, bool is_write, int core, DoneFn done,
+    void access(Addr addr, bool is_write, int core, Continuation cont,
                 Cycle now, std::unique_ptr<RequestSpan> span = {});
+
+    /** Install the continuation receiver (see CompletionHook). */
+    void setCompletionHook(CompletionHook hook)
+    {
+        completionHook_ = std::move(hook);
+    }
 
     /** Retry deferred submissions; call whenever the system ticks. */
     void tick(Cycle now);
@@ -156,6 +169,29 @@ class DasManager
     void setRequestTracer(RequestTracer *tracer) { tracer_ = tracer; }
     /// @}
 
+    /// @name Checkpointing
+    /// @{
+
+    /**
+     * Checkpoint the manager: translation table/cache, promotion
+     * filter, replacement state, inclusive directory, retry queue,
+     * in-flight walks, swap groups and the touched-row footprint.
+     * Unordered containers are serialised in sorted order so the
+     * byte stream is deterministic. Stats ride the owner's StatGroup
+     * serdeTree pass.
+     */
+    void serdeState(Archive &ar);
+
+    /**
+     * Reinstall completion callbacks on every request and migration
+     * the DRAM system still owns after a restore: table walks resume
+     * through onWalkComplete, data requests through onDataComplete
+     * (delivering their serialised Continuation to the hook), and
+     * tagged migration jobs re-arm their swap-group release.
+     */
+    void rebindInFlight();
+    /// @}
+
   private:
     /** A translated request waiting for queue space / table walk. */
     struct PendingAccess
@@ -165,8 +201,28 @@ class DasManager
         int core = -1;
         GlobalRowId logical = 0;
         Cycle readyTick = 0;
-        DoneFn done;
+        Continuation cont;
         std::unique_ptr<RequestSpan> span; ///< sampled requests only
+
+        void
+        serdeState(Archive &ar)
+        {
+            ar.io(addr);
+            ar.io(isWrite);
+            ar.io(core);
+            ar.io(logical);
+            ar.io(readyTick);
+            cont.serdeState(ar);
+            bool has_span = span != nullptr;
+            ar.io(has_span);
+            if (has_span) {
+                if (ar.loading())
+                    span = std::make_unique<RequestSpan>();
+                span->serdeState(ar);
+            } else if (ar.loading()) {
+                span.reset();
+            }
+        }
     };
 
     /** Perform translation timing; returns extra delay in ticks, or
@@ -176,7 +232,14 @@ class DasManager
 
     void submitReady(PendingAccess &&acc, Cycle now);
     void trySubmit(PendingAccess &&acc, Cycle now);
-    void onDataComplete(MemRequest &req, Cycle at, const DoneFn &done);
+
+    /** Completion of a demand/writeback data request: location
+     *  accounting, promotion policy, then the continuation hook. */
+    void onDataComplete(MemRequest &req, Cycle at);
+
+    /** Completion of a translation-table walk: LLC fill plus release
+     *  of every access coalesced on the table line. */
+    void onWalkComplete(MemRequest &treq, Cycle at);
     void maybePromote(GlobalRowId logical, Cycle now);
     void maybePromoteInclusive(GlobalRowId logical, Cycle now);
     GlobalRowId physicalFor(GlobalRowId logical) const;
@@ -194,6 +257,7 @@ class DasManager
 
     TraceEventSink *events_ = nullptr;
     RequestTracer *tracer_ = nullptr;
+    CompletionHook completionHook_;
 
     std::deque<PendingAccess> pending_;
     /** In-flight table-line walks: accesses waiting on the same line. */

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serde.hh"
 #include "core/subarray_layout.hh"
 #include "dram/geometry.hh"
 
@@ -66,6 +67,21 @@ class InclusiveDirectory
 
     /** Number of valid copies currently held. */
     std::uint64_t validCopies() const { return valid_; }
+
+    /** Checkpoint every slot's occupant/dirty state. */
+    void
+    serdeState(Archive &ar)
+    {
+        ar.section("inclDir");
+        ar.expectCount(entries_.size(), "directory entries");
+        for (Entry &e : entries_) {
+            ar.io(e.logicalSlot);
+            ar.io(e.valid);
+            ar.io(e.dirty);
+        }
+        ar.io(valid_);
+        ar.end();
+    }
 
   private:
     struct Entry

@@ -56,6 +56,20 @@ class PromotionFilter
 
     StatGroup &stats() { return statGroup_; }
 
+    /** Checkpoint the counter pool. */
+    void
+    serdeState(Archive &ar)
+    {
+        ar.section("promoFilter");
+        ar.expectCount(slots_.size(), "promotion counters");
+        for (Slot &s : slots_) {
+            ar.io(s.row);
+            ar.io(s.count);
+            ar.io(s.valid);
+        }
+        ar.end();
+    }
+
   private:
     struct Slot
     {

@@ -52,6 +52,21 @@ class FastSlotReplacement
     FastReplPolicy policy() const { return policy_; }
     unsigned slotsPerGroup() const { return slots_; }
 
+    /** Checkpoint per-group recency/cursor state and the RNG. */
+    void
+    serdeState(Archive &ar)
+    {
+        ar.section("fastRepl");
+        ar.io(lastUse_);
+        ar.expectCount(seqPtr_.size(), "sequential cursors");
+        if (!seqPtr_.empty())
+            ar.blob(seqPtr_.data(), seqPtr_.size());
+        ar.io(stampCounter_);
+        ar.io(globalCounter_);
+        rng_.serdeState(ar);
+        ar.end();
+    }
+
   private:
     FastReplPolicy policy_;
     unsigned slots_;

@@ -64,6 +64,22 @@ class TranslationCache
 
     StatGroup &stats() { return statGroup_; }
 
+    /** Checkpoint tags, validity and recency (hit/miss counters ride
+     *  the owner's StatGroup serdeTree pass). */
+    void
+    serdeState(Archive &ar)
+    {
+        ar.section("transCache");
+        ar.expectCount(entries_.size(), "tag-cache entries");
+        for (Entry &e : entries_) {
+            ar.io(e.row);
+            ar.io(e.valid);
+            ar.io(e.stamp);
+        }
+        ar.io(stampCounter_);
+        ar.end();
+    }
+
   private:
     struct Entry
     {

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serde.hh"
 #include "core/subarray_layout.hh"
 #include "dram/geometry.hh"
 
@@ -70,6 +71,21 @@ class TranslationTable
     }
 
     const AsymmetricLayout &layout() const { return *layout_; }
+
+    /** Checkpoint both permutation arrays and the swap counter (shapes
+     *  are layout-derived and gated). */
+    void
+    serdeState(Archive &ar)
+    {
+        ar.section("transTable");
+        ar.expectCount(perm_.size(), "translation entries");
+        if (!perm_.empty()) {
+            ar.blob(perm_.data(), perm_.size());
+            ar.blob(inverse_.data(), inverse_.size());
+        }
+        ar.io(swaps_);
+        ar.end();
+    }
 
   private:
     std::uint64_t groupIndex(GlobalRowId row) const;

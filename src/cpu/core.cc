@@ -40,6 +40,7 @@ Core::refill()
 void
 Core::dispatchOne(Cycle now)
 {
+    const unsigned slot_index = tail_;
     Slot &slot = window_[tail_];
     tail_ = (tail_ + 1) % cfg_.robSize;
     ++windowCount_;
@@ -68,15 +69,17 @@ Core::dispatchOne(Cycle now)
     bool is_write = pending_.isWrite;
     havePending_ = false;
 
-    if (slot.isLoad) {
-        Slot *slot_ptr = &slot;
-        mem_(addr, is_write, [slot_ptr](Cycle done_tick) {
-            slot_ptr->done = true;
-            slot_ptr->doneAtTick = done_tick;
-        });
-    } else {
-        mem_(addr, is_write, [](Cycle) {});
-    }
+    mem_(addr, is_write, slot.isLoad ? slot_index : kNoSlot);
+}
+
+void
+Core::completeLoad(unsigned slot, Cycle done_tick)
+{
+    if (slot >= window_.size())
+        panic("core{}: completeLoad slot {} out of range", id_, slot);
+    Slot &s = window_[slot];
+    s.done = true;
+    s.doneAtTick = done_tick;
 }
 
 void
@@ -245,6 +248,31 @@ Core::skipCycles(std::uint64_t n)
     const Slot &s = window_[head_];
     if (s.isMem && s.isLoad)
         robStallCycles_.inc(n);
+}
+
+void
+Core::serdeState(Archive &ar)
+{
+    ar.section("core");
+    ar.expectCount(window_.size(), "ROB slots");
+    for (Slot &s : window_) {
+        ar.io(s.isMem);
+        ar.io(s.isLoad);
+        ar.io(s.done);
+        ar.io(s.doneAtTick);
+    }
+    ar.io(head_);
+    ar.io(tail_);
+    ar.io(windowCount_);
+    ar.io(pending_.gap);
+    ar.io(pending_.addr);
+    ar.io(pending_.isWrite);
+    ar.io(gapLeft_);
+    ar.io(havePending_);
+    ar.io(traceDone_);
+    ar.io(retiredAbs_);
+    ar.io(loadSeqs_);
+    ar.end();
 }
 
 void

@@ -36,25 +36,40 @@ struct CoreConfig
 
 /**
  * One core bound to one trace. The owner provides a memory-access
- * functor; the core hands it loads/stores and a completion setter.
+ * functor; the core hands it loads/stores and, for loads, the ROB
+ * slot index the owner must wake through completeLoad() when the
+ * data arrives. The slot index is plain data, so in-flight accesses
+ * survive a checkpoint (the owner serialises the token, not a
+ * closure).
  */
 class Core
 {
   public:
+    /** Slot argument passed for accesses needing no completion
+     *  (stores retire via the store buffer). */
+    static constexpr unsigned kNoSlot = ~0u;
+
     /**
-     * Memory access hook. Arguments: address, is_write, done —
-     * the memory system must call @c done(completion_tick) when the
-     * load's data arrives (stores may ignore it). The hook may call
-     * @c done synchronously (cache hits).
+     * Memory access hook. Arguments: address, is_write, slot — for
+     * loads the owner must call @c completeLoad(slot, tick) when the
+     * data arrives (possibly synchronously, for cache hits); for
+     * stores @c slot is kNoSlot and no completion is expected.
      */
-    using MemAccessFn =
-        std::function<void(Addr, bool, std::function<void(Cycle)>)>;
+    using MemAccessFn = std::function<void(Addr, bool, unsigned)>;
 
     Core(int id, const CoreConfig &cfg, TraceSource &trace,
          MemAccessFn mem);
 
     /** Advance one CPU cycle ending at tick @p now. */
     void tick(Cycle now);
+
+    /**
+     * Wake the load in ROB slot @p slot: its data arrived at
+     * @p done_tick. @p slot is the index handed to the MemAccessFn
+     * when the load dispatched; the slot is guaranteed still to hold
+     * that load (in-order retirement cannot pass an incomplete load).
+     */
+    void completeLoad(unsigned slot, Cycle done_tick);
 
     /**
      * Event horizon: the earliest tick at which tick() could retire or
@@ -125,6 +140,14 @@ class Core
 
     /** Zero statistics (end of warm-up) without touching window state. */
     void resetStats();
+
+    /**
+     * Checkpoint the window, dispatch cursor and pending trace record
+     * (stats ride the owner's StatGroup tree; the trace source is
+     * serialised by its owner). Slot done-ness round-trips, so loads
+     * still in flight at save time resume waiting after a load.
+     */
+    void serdeState(Archive &ar);
 
     StatGroup &stats() { return statGroup_; }
 

@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/log.hh"
+#include "common/serde.hh"
 #include "common/types.hh"
 
 namespace dasdram
@@ -41,6 +43,18 @@ class TraceSource
 
     /** Restart from the beginning (used by the profiling pass). */
     virtual void reset() = 0;
+
+    /**
+     * Checkpoint the stream position so a restored simulation resumes
+     * delivering exactly the records the straight run would have seen.
+     * Sources that cannot round-trip (e.g. a recording tee) refuse
+     * loudly; the default refuses so new sources opt in explicitly.
+     */
+    virtual void
+    serdeState(Archive &)
+    {
+        fatal("this trace source does not support checkpointing");
+    }
 };
 
 /** Fixed in-memory trace, mainly for tests. */
@@ -65,6 +79,17 @@ class VectorTraceSource : public TraceSource
     }
 
     void reset() override { pos_ = 0; }
+
+    void
+    serdeState(Archive &ar) override
+    {
+        ar.section("vectorTrace");
+        ar.expectCount(entries_.size(), "vector-trace entries");
+        std::uint64_t pos = pos_;
+        ar.io(pos);
+        pos_ = static_cast<std::size_t>(pos);
+        ar.end();
+    }
 
   private:
     std::vector<TraceEntry> entries_;

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "common/serde.hh"
 #include "common/types.hh"
 #include "dram/timing.hh"
 
@@ -182,6 +183,27 @@ class Bank
 
     /** Restore power-up state (testing). */
     void reset();
+
+    /** Checkpoint the full bank state machine, including the version
+     *  counter (restored caches keyed on it stay consistent) and the
+     *  reservation busy-time accumulator blame attribution reads. */
+    void
+    serdeState(Archive &ar)
+    {
+        ar.io(version_);
+        ar.io(hasOpenRow_);
+        ar.io(openRow_);
+        ar.io(openClass_);
+        ar.io(actAllowedAt_);
+        ar.io(preAllowedAt_);
+        ar.io(colAllowedAt_);
+        ar.io(reservedUntil_);
+        ar.io(reservedBusyTotal_);
+        ar.io(resRowLo_);
+        ar.io(resRowHi_);
+        ar.io(resExemptA_);
+        ar.io(resExemptB_);
+    }
 
   private:
     const DramTiming *timing_;

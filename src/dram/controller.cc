@@ -235,9 +235,11 @@ ChannelController::emitPrecharge(Cycle now, unsigned rank_id,
 void
 ChannelController::retireCompletions(Cycle now)
 {
-    while (!completions_.empty() && completions_.top().at <= now) {
-        Completion c = completions_.top();
-        completions_.pop();
+    while (!completions_.empty() && completions_.front().at <= now) {
+        Completion c = completions_.front();
+        std::pop_heap(completions_.begin(), completions_.end(),
+                      std::greater<Completion>());
+        completions_.pop_back();
         auto it = std::find_if(inflight_.begin(), inflight_.end(),
                                [&](const std::unique_ptr<MemRequest> &p) {
                                    return p.get() == c.req;
@@ -541,7 +543,9 @@ ChannelController::issueColumnFor(
     if (owned->isWrite) {
         finish(std::move(owned), end, ServiceLocation::RowBuffer);
     } else {
-        completions_.push({end, owned.get()});
+        completions_.push_back({end, owned.get()});
+        std::push_heap(completions_.begin(), completions_.end(),
+                       std::greater<Completion>());
         inflight_.push_back(std::move(owned));
     }
     return true;
@@ -886,7 +890,7 @@ ChannelController::nextWakeCycle(Cycle now) const
 {
     Cycle next = kCycleMax;
     if (!completions_.empty())
-        next = std::min(next, completions_.top().at);
+        next = std::min(next, completions_.front().at);
     for (const auto &m : activeMigrations_)
         next = std::min(next, m.first);
     // Migration jobs that have not started keep the controller on a
@@ -925,7 +929,7 @@ ChannelController::parallelSafeThrough(Cycle hi) const
 {
     if (!writeQueue_.empty())
         return false; // writes fire their callback at WR issue time
-    if (!completions_.empty() && completions_.top().at <= hi)
+    if (!completions_.empty() && completions_.front().at <= hi)
         return false;
     for (const auto &m : activeMigrations_) {
         if (m.first <= hi)
@@ -940,6 +944,127 @@ ChannelController::busy() const
     return !readQueue_.empty() || !writeQueue_.empty() ||
            !inflight_.empty() || !migrations_.empty() ||
            !activeMigrations_.empty();
+}
+
+namespace
+{
+
+void
+serdeRequestQueue(Archive &ar,
+                  std::vector<std::unique_ptr<MemRequest>> &queue)
+{
+    std::uint64_t n = queue.size();
+    ar.io(n);
+    if (ar.loading()) {
+        queue.clear();
+        queue.reserve(static_cast<std::size_t>(n));
+        for (std::uint64_t i = 0; i < n; ++i)
+            queue.push_back(std::make_unique<MemRequest>());
+    }
+    for (auto &req : queue)
+        req->serdeState(ar);
+}
+
+} // namespace
+
+void
+ChannelController::serdeState(Archive &ar)
+{
+    ar.section("channel");
+    ar.expectCount(ranks_.size(), "ranks");
+    for (Rank &r : ranks_)
+        r.serdeState(ar);
+
+    serdeRequestQueue(ar, readQueue_);
+    serdeRequestQueue(ar, writeQueue_);
+    ar.io(drainingWrites_);
+    serdeRequestQueue(ar, inflight_);
+
+    // The completion heap is stored as its raw array of (cycle,
+    // in-flight index) pairs: restoring the identical array restores
+    // the identical heap, including the pop order of same-cycle ties.
+    std::uint64_t n = completions_.size();
+    ar.io(n);
+    if (ar.loading())
+        completions_.resize(static_cast<std::size_t>(n));
+    for (auto &c : completions_) {
+        ar.io(c.at);
+        std::uint64_t idx = 0;
+        if (ar.saving()) {
+            auto it = std::find_if(
+                inflight_.begin(), inflight_.end(),
+                [&](const std::unique_ptr<MemRequest> &p) {
+                    return p.get() == c.req;
+                });
+            if (it == inflight_.end())
+                panic("checkpoint: completion for a request not in "
+                      "the in-flight set");
+            idx = static_cast<std::uint64_t>(it - inflight_.begin());
+        }
+        ar.io(idx);
+        if (ar.loading()) {
+            if (idx >= inflight_.size())
+                fatal("checkpoint: completion index {} out of range "
+                      "({} in flight)",
+                      idx, inflight_.size());
+            c.req = inflight_[static_cast<std::size_t>(idx)].get();
+        }
+    }
+
+    ar.io(nextMigrationId_);
+    std::uint64_t pending = migrations_.size();
+    ar.io(pending);
+    if (ar.loading())
+        migrations_.resize(static_cast<std::size_t>(pending));
+    for (MigrationJob &job : migrations_)
+        job.serdeState(ar);
+    std::uint64_t active = activeMigrations_.size();
+    ar.io(active);
+    if (ar.loading())
+        activeMigrations_.resize(static_cast<std::size_t>(active));
+    for (auto &m : activeMigrations_) {
+        ar.io(m.first);
+        m.second.serdeState(ar);
+    }
+
+    ar.io(dataBusFreeAt_);
+    ar.io(nextColAllowedAt_);
+    ar.io(lastBusRank_);
+    ar.io(lastBusWasWrite_);
+    ar.io(busVer_);
+    ar.io(chanVer_);
+    ar.end();
+
+    if (ar.loading()) {
+        // Rollup horizon caches are derived state; force a recompute
+        // on the first wake query after the restore.
+        horizonSig_ = ~std::uint64_t{0};
+        queuePathMin_ = kCycleMax;
+        queueBlockedMin_ = kCycleMax;
+        preMinReady_ = kCycleMax;
+    }
+}
+
+void
+ChannelController::forEachRequest(
+    const std::function<void(MemRequest &)> &fn)
+{
+    for (auto &req : readQueue_)
+        fn(*req);
+    for (auto &req : writeQueue_)
+        fn(*req);
+    for (auto &req : inflight_)
+        fn(*req);
+}
+
+void
+ChannelController::forEachMigration(
+    const std::function<void(MigrationJob &)> &fn)
+{
+    for (MigrationJob &job : migrations_)
+        fn(job);
+    for (auto &m : activeMigrations_)
+        fn(m.second);
 }
 
 } // namespace dasdram

@@ -13,7 +13,6 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "common/stats.hh"
@@ -91,6 +90,9 @@ struct ControllerConfig
 /** An internal row migration or swap to run in one bank. */
 struct MigrationJob
 {
+    /** group value for jobs with no owner-side identity. */
+    static constexpr std::uint64_t kNoGroup = ~std::uint64_t{0};
+
     unsigned rank = 0;
     unsigned bank = 0;
     std::uint64_t rowA = 0; ///< e.g. promotee (slow) row
@@ -103,8 +105,31 @@ struct MigrationJob
     Cycle enqueuedAt = kCycleMax; ///< stamped by the controller
     /** Nonzero per-channel job id, stamped by addMigration(). */
     std::uint64_t id = 0;
+    /**
+     * Serialisable owner-side identity (the DAS migration-group id),
+     * kNoGroup for untagged jobs. What a restored owner uses to
+     * reconstruct onDone via DramSystem::rebindMigrations().
+     */
+    std::uint64_t group = kNoGroup;
     /** Called at completion with the finish cycle. */
     std::function<void(Cycle)> onDone;
+
+    /** Checkpoint all data fields; onDone is left null on load (the
+     *  owner rebinds it from @c group). */
+    void
+    serdeState(Archive &ar)
+    {
+        ar.io(rank);
+        ar.io(bank);
+        ar.io(rowA);
+        ar.io(rowB);
+        ar.io(fullSwap);
+        ar.io(rowLo);
+        ar.io(rowHi);
+        ar.io(enqueuedAt);
+        ar.io(id);
+        ar.io(group);
+    }
 };
 
 /**
@@ -210,6 +235,28 @@ class ChannelController
 
     /** Per-bank read-latency distributions merged channel-wide. */
     Distribution mergedBankReadLatency() const;
+    /// @}
+
+    /// @name Checkpointing
+    /// @{
+
+    /**
+     * Checkpoint the channel: ranks and banks, both queues, in-flight
+     * reads, the completion heap (raw array, preserving exact
+     * tie-break pop order), migrations and bus/scheduler bookkeeping.
+     * Stats are not stored here — they ride the owner's StatGroup
+     * serdeTree pass. On load every request's onComplete and every
+     * job's onDone is null until the owner rebinds them.
+     */
+    void serdeState(Archive &ar);
+
+    /** Visit every owned request (queued and in-flight) — the rebind
+     *  hook a restored owner uses to reinstall onComplete. */
+    void forEachRequest(const std::function<void(MemRequest &)> &fn);
+
+    /** Visit every migration job (pending and active) — the rebind
+     *  hook a restored owner uses to reinstall onDone. */
+    void forEachMigration(const std::function<void(MigrationJob &)> &fn);
     /// @}
 
   private:
@@ -333,9 +380,14 @@ class ChannelController
     std::vector<std::unique_ptr<MemRequest>> writeQueue_;
     bool drainingWrites_ = false;
 
-    /** In-flight reads awaiting data completion. */
-    std::priority_queue<Completion, std::vector<Completion>,
-                        std::greater<Completion>> completions_;
+    /**
+     * In-flight reads awaiting data completion: a min-heap on `at`
+     * kept with push_heap/pop_heap over an explicit vector (identical
+     * pop order to the std::priority_queue it replaces), so a
+     * checkpoint can serialise the raw heap array verbatim and restore
+     * the exact tie-break order.
+     */
+    std::vector<Completion> completions_;
     std::vector<std::unique_ptr<MemRequest>> inflight_;
 
     CommandSink *sink_ = nullptr;

@@ -105,7 +105,8 @@ DramSystem::startMigration(unsigned channel, unsigned rank, unsigned bank,
                            std::uint64_t row_a, std::uint64_t row_b,
                            bool full_swap, std::uint64_t row_lo,
                            std::uint64_t row_hi,
-                           std::function<void(Cycle)> on_done)
+                           std::function<void(Cycle)> on_done,
+                           std::uint64_t group)
 {
     MigrationJob job;
     job.rank = rank;
@@ -115,11 +116,59 @@ DramSystem::startMigration(unsigned channel, unsigned rank, unsigned bank,
     job.fullSwap = full_swap;
     job.rowLo = row_lo;
     job.rowHi = row_hi;
+    job.group = group;
     job.onDone = [cb = std::move(on_done)](Cycle mem_at) {
         if (cb)
             cb(mem_at * kMemTick);
     };
     channels_[channel]->addMigration(std::move(job));
+}
+
+void
+DramSystem::serdeState(Archive &ar)
+{
+    ar.section("dramSystem");
+    ar.io(lastMemCycle_);
+    ar.expectCount(channels_.size(), "channels");
+    for (const auto &ch : channels_)
+        ch->serdeState(ar);
+    ar.end();
+}
+
+void
+DramSystem::rebindRequests(
+    const std::function<MemRequest::Callback(const MemRequest &)> &binder)
+{
+    for (const auto &ch : channels_) {
+        ch->forEachRequest([&](MemRequest &req) {
+            MemRequest::Callback user = binder(req);
+            if (!user) {
+                req.onComplete = nullptr;
+                return;
+            }
+            // Same tick-domain wrap submit() applies to live requests.
+            req.onComplete = [user = std::move(user)](MemRequest &r,
+                                                      Cycle mem_at) {
+                user(r, mem_at * kMemTick);
+            };
+        });
+    }
+}
+
+void
+DramSystem::rebindMigrations(
+    const std::function<std::function<void(Cycle)>(const MigrationJob &)>
+        &binder)
+{
+    for (const auto &ch : channels_) {
+        ch->forEachMigration([&](MigrationJob &job) {
+            auto cb = binder(job);
+            job.onDone = [cb = std::move(cb)](Cycle mem_at) {
+                if (cb)
+                    cb(mem_at * kMemTick);
+            };
+        });
+    }
 }
 
 void

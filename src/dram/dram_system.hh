@@ -73,13 +73,17 @@ class DramSystem
      * owns the two rows. Rows [row_lo, row_hi) — the affected
      * subarrays / migration group — are blocked while it runs; pass
      * row_lo == row_hi to block just the two rows. @p on_done fires
-     * with the finish tick.
+     * with the finish tick. @p group is the caller's serialisable
+     * identity for the job (MigrationJob::kNoGroup when it has none):
+     * after a snapshot restore, rebindMigrations() hands it back so
+     * the owner can reconstruct on_done.
      */
     void startMigration(unsigned channel, unsigned rank, unsigned bank,
                         std::uint64_t row_a, std::uint64_t row_b,
                         bool full_swap, std::uint64_t row_lo,
                         std::uint64_t row_hi,
-                        std::function<void(Cycle)> on_done);
+                        std::function<void(Cycle)> on_done,
+                        std::uint64_t group = MigrationJob::kNoGroup);
 
     /**
      * Attach a command observer (protocol checker / trace writer) to
@@ -146,6 +150,35 @@ class DramSystem
     EnergyBreakdown energyBreakdown() const;
 
     StatGroup &stats() { return statGroup_; }
+    /// @}
+
+    /// @name Checkpointing
+    /// @{
+
+    /** Checkpoint the memory clock and every channel (worker-pool and
+     *  sink wiring is reconstructed, not stored). */
+    void serdeState(Archive &ar);
+
+    /**
+     * Reinstall completion callbacks on every owned request after a
+     * restore. @p binder maps a request (via its serialised
+     * Continuation) to a tick-domain callback (or null); each one is
+     * re-wrapped into the controller's memory-cycle domain exactly as
+     * submit() wraps live callbacks.
+     */
+    void rebindRequests(
+        const std::function<MemRequest::Callback(const MemRequest &)>
+            &binder);
+
+    /**
+     * Reinstall onDone on every pending/active migration job after a
+     * restore. @p binder maps a job (via its serialised group tag) to
+     * a tick-domain callback (or null); wrapped like startMigration()
+     * wraps live callbacks.
+     */
+    void rebindMigrations(
+        const std::function<std::function<void(Cycle)>(
+            const MigrationJob &)> &binder);
     /// @}
 
   private:

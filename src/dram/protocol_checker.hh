@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/serde.hh"
 #include "common/types.hh"
 #include "dram/cmd_trace.hh"
 #include "dram/geometry.hh"
@@ -78,6 +79,53 @@ class ProtocolChecker : public CommandSink
 
     /** Forget all state and results (e.g. between fuzz cases). */
     void reset();
+
+    /**
+     * Checkpoint the full timing state machine plus the verdict so
+     * far. Field-wise rather than pod() blobs: struct padding never
+     * leaks into the stream, keeping snapshot bytes deterministic.
+     */
+    void
+    serdeState(Archive &ar)
+    {
+        ar.section("protoChecker");
+        ar.expectCount(banks_.size(), "checker banks");
+        for (BankState &b : banks_) {
+            ar.io(b.open);
+            ar.io(b.row);
+            ar.io(b.cls);
+            ar.io(b.earliestAct);
+            ar.io(b.earliestPre);
+            ar.io(b.earliestCol);
+            ar.io(b.reservedUntil);
+            ar.io(b.resLo);
+            ar.io(b.resHi);
+            ar.io(b.exemptA);
+            ar.io(b.exemptB);
+        }
+        ar.expectCount(ranks_.size(), "checker ranks");
+        for (RankState &r : ranks_) {
+            for (Cycle &t : r.actTimes)
+                ar.io(t);
+            ar.io(r.actHead);
+            ar.io(r.actCount);
+            ar.io(r.lastActAt);
+            ar.io(r.readAllowedAt);
+        }
+        ar.expectCount(channels_.size(), "checker channels");
+        for (ChannelState &c : channels_) {
+            ar.io(c.lastCmdAt);
+            ar.io(c.anyCmd);
+            ar.io(c.nextColAllowedAt);
+            ar.io(c.dataBusFreeAt);
+            ar.io(c.lastBusRank);
+            ar.io(c.lastBusWasWrite);
+        }
+        ar.io(commands_);
+        ar.io(violations_);
+        ar.io(messages_);
+        ar.end();
+    }
 
     /** At most this many violation messages are retained. */
     static constexpr std::size_t kMaxStoredMessages = 32;

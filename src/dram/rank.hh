@@ -92,6 +92,28 @@ class Rank
     }
     /// @}
 
+    /** Checkpoint the rank windows, refresh schedule and every bank. */
+    void
+    serdeState(Archive &ar)
+    {
+        ar.section("rank");
+        ar.expectCount(banks_.size(), "banks");
+        for (Bank &b : banks_)
+            b.serdeState(ar);
+        for (Cycle &t : actTimes_)
+            ar.io(t);
+        ar.io(actHead_);
+        ar.io(actCount_);
+        ar.io(lastActAt_);
+        ar.io(readAllowedAt_);
+        ar.io(nextRefreshAt_);
+        ar.io(refreshingUntil_);
+        ar.io(refreshBusyTotal_);
+        ar.io(refreshCount_);
+        ar.io(version_);
+        ar.end();
+    }
+
   private:
     const DramTiming *timing_;
     std::vector<Bank> banks_;

@@ -15,6 +15,46 @@ MemRequest::MemRequest(MemRequest &&) noexcept = default;
 MemRequest &MemRequest::operator=(MemRequest &&) noexcept = default;
 MemRequest::~MemRequest() = default;
 
+void
+MemRequest::serdeState(Archive &ar)
+{
+    ar.section("req");
+    ar.io(id);
+    ar.io(addr);
+    ar.io(isWrite);
+    ar.io(coreId);
+    ar.io(arrivalTick);
+    ar.io(readyTick);
+    ar.io(completionTick);
+    ar.io(isTableAccess);
+    ar.io(loc.channel);
+    ar.io(loc.rank);
+    ar.io(loc.bank);
+    ar.io(loc.row);
+    ar.io(loc.column);
+    ar.io(logicalRow);
+    ar.io(location);
+    ar.io(servicedFast);
+    cont.serdeState(ar);
+    bool has_span = span != nullptr;
+    ar.io(has_span);
+    if (has_span) {
+        if (ar.loading() && !span)
+            span = std::make_unique<RequestSpan>();
+        span->serdeState(ar);
+    } else if (ar.loading()) {
+        span.reset();
+    }
+    ar.end();
+    if (ar.loading()) {
+        // The readiness cache keys on bank/rank/bus versions that are
+        // themselves restored, but recomputation is cheap and keeps
+        // the invariant trivially true.
+        sched = SchedCache{};
+        onComplete = nullptr;
+    }
+}
+
 const char *
 toString(ServiceLocation loc)
 {

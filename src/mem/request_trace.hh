@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/serde.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "dram/row_class.hh"
@@ -143,6 +144,47 @@ struct RequestSpan
 
     /** Row-buffer outcome label: forwarded / hit / miss / conflict. */
     const char *outcome() const;
+
+    /** Checkpoint every stage timestamp and coordinate (spans of
+     *  in-flight sampled requests ride their MemRequest). */
+    void
+    serdeState(Archive &ar)
+    {
+        ar.io(sampleId);
+        ar.io(core);
+        ar.io(addr);
+        ar.io(isWrite);
+        ar.io(isTableWalk);
+        ar.io(forwarded);
+        ar.io(issueTick);
+        ar.io(missTick);
+        ar.io(transDoneTick);
+        ar.io(submitTick);
+        ar.io(trans);
+        ar.io(channel);
+        ar.io(rank);
+        ar.io(bank);
+        ar.io(row);
+        ar.io(logicalRow);
+        ar.io(rowClass);
+        ar.io(location);
+        ar.io(admitCycle);
+        ar.io(readyCycle);
+        ar.io(firstCmdCycle);
+        ar.io(preCycle);
+        ar.io(actCycle);
+        ar.io(colCycle);
+        ar.io(dataCycle);
+        ar.io(hasFirstCmd);
+        ar.io(hasPre);
+        ar.io(hasAct);
+        ar.io(waitBlock);
+        ar.io(waitRefresh);
+        ar.io(fawStall);
+        ar.io(blockedUntilCycle);
+        ar.io(refreshBusyAtAdmit);
+        ar.io(reserveBusyAtAdmit);
+    }
 };
 
 /** Receives completed spans; implementations must not mutate state
@@ -206,6 +248,17 @@ class RequestTracer
     std::uint64_t decisions() const { return decisions_; }
     std::uint64_t sampled() const { return sampled_; }
 
+    /** Checkpoint the decision/sample counters (seed, rate and the
+     *  derived threshold are config; the fingerprint pins them). */
+    void
+    serdeState(Archive &ar)
+    {
+        ar.section("reqTracer");
+        ar.io(decisions_);
+        ar.io(sampled_);
+        ar.end();
+    }
+
   private:
     std::uint64_t seed_;
     double rate_;
@@ -267,6 +320,16 @@ class CriticalPathAggregator : public RequestTraceSink
 
     StatGroup &stats() { return group_; }
     std::uint64_t spansSeen() const { return spansSeen_; }
+
+    /** Checkpoint the raw span counter (the distributions live in the
+     *  stat tree and ride the owner's serdeTree pass). */
+    void
+    serdeState(Archive &ar)
+    {
+        ar.section("spanAgg");
+        ar.io(spansSeen_);
+        ar.end();
+    }
 
   private:
     /** One breakdown bundle: total + the five blame components. */

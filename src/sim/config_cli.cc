@@ -1,0 +1,45 @@
+#include "config_cli.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace dasdram
+{
+
+void
+addConfigOptions(CliParser &cli)
+{
+    cli.option("--config", "FILE",
+               "load a JSON configuration as the new defaults (flags "
+               "still override; unknown keys are fatal)")
+        .flag("--dump-config",
+              "print the effective configuration as JSON and exit");
+}
+
+void
+loadConfigFile(const CliParser &cli, SimConfig &cfg)
+{
+    if (!cli.given("--config"))
+        return;
+    const std::string path = cli.str("--config");
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open '{}'", path);
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    cfg = configFromJson(ss.str(), cfg);
+}
+
+bool
+dumpConfigIfRequested(const CliParser &cli, const SimConfig &cfg)
+{
+    if (!cli.given("--dump-config"))
+        return false;
+    std::printf("%s\n", configToJson(cfg).c_str());
+    return true;
+}
+
+} // namespace dasdram

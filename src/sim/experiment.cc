@@ -1,7 +1,13 @@
 #include "experiment.hh"
 
+#include <atomic>
+#include <cerrno>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <memory>
+
+#include <sys/stat.h>
 
 #include "common/log.hh"
 #include "common/strfmt.hh"
@@ -12,9 +18,31 @@
 namespace dasdram
 {
 
+namespace
+{
+
+/** `warm_<16 hex digits>.ckpt` under @p dir for fingerprint @p fp. */
+std::string
+warmCheckpointPath(const std::string &dir, std::uint64_t fp)
+{
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(fp));
+    return dir + "/warm_" + hex + ".ckpt";
+}
+
+bool
+fileExists(const std::string &path)
+{
+    return std::ifstream(path, std::ios::binary).good();
+}
+
+} // namespace
+
 RunMetrics
 runSimulation(const WorkloadSpec &workload, const SimConfig &cfg_in,
-              const std::string &record_prefix)
+              const std::string &record_prefix,
+              const std::string &warm_dir)
 {
     SimConfig cfg = cfg_in;
     cfg.numCores = workload.numCores();
@@ -38,8 +66,32 @@ runSimulation(const WorkloadSpec &workload, const SimConfig &cfg_in,
 
     System sys(cfg, trace_ptrs);
 
+    // Warm-start: fork from the shared warmed snapshot of this config
+    // fingerprint if one exists, else publish ours once warm-up
+    // completes. The temp-file + rename dance keeps concurrent points
+    // with the same fingerprint safe: renames are atomic and every
+    // writer produces identical bytes (the snapshot is deterministic).
+    std::string warm_path, warm_tmp;
+    bool restoring = false;
+    if (!warm_dir.empty()) {
+        if (!record_prefix.empty())
+            fatal("trace recording cannot be combined with warm-start "
+                  "checkpoints (recorder file positions are not part "
+                  "of a snapshot)");
+        if (::mkdir(warm_dir.c_str(), 0777) != 0 && errno != EEXIST)
+            fatal("cannot create warm-start directory '{}'", warm_dir);
+        warm_path = warmCheckpointPath(warm_dir, configFingerprint(cfg));
+        restoring = fileExists(warm_path);
+        if (!restoring) {
+            static std::atomic<unsigned> tmp_seq{0};
+            warm_tmp = formatStr("{}.tmp{}", warm_path,
+                                 tmp_seq.fetch_add(1));
+            sys.checkpointAtWarmup(warm_tmp);
+        }
+    }
+
     const DesignSpec &spec = designSpec(cfg.design);
-    if (spec.needsProfiling) {
+    if (spec.needsProfiling && !restoring) {
         // Profiling pass over the same instruction window (Section 7:
         // workloads are profiled first for the static baselines).
         AddressMapper mapper(cfg.geom);
@@ -55,7 +107,13 @@ runSimulation(const WorkloadSpec &workload, const SimConfig &cfg_in,
         profiler.assign(sys.manager().table());
     }
 
+    if (restoring)
+        sys.loadSnapshot(warm_path);
+
     RunMetrics metrics = sys.run();
+    if (!warm_tmp.empty() &&
+        std::rename(warm_tmp.c_str(), warm_path.c_str()) != 0)
+        fatal("cannot publish warm-start checkpoint '{}'", warm_path);
     for (auto &rec : recorders)
         rec->close();
     return metrics;
@@ -83,7 +141,7 @@ RunMetrics
 ExperimentRunner::runRaw(const WorkloadSpec &workload,
                          const SimConfig &cfg_in)
 {
-    return runSimulation(workload, cfg_in);
+    return runSimulation(workload, cfg_in, "", warmDir_);
 }
 
 void
@@ -118,7 +176,7 @@ ExperimentRunner::baseline(const WorkloadSpec &workload)
         // the futures already handed out.
         SimConfig cfg = base_;
         cfg.design = DesignKind::Standard;
-        promise.set_value(runSimulation(workload, cfg));
+        promise.set_value(runSimulation(workload, cfg, "", warmDir_));
     }
     return future.get();
 }
@@ -137,7 +195,7 @@ ExperimentRunner::run(const WorkloadSpec &workload, DesignKind design)
     } else {
         SimConfig cfg = base_;
         cfg.design = design;
-        res.metrics = runSimulation(workload, cfg);
+        res.metrics = runSimulation(workload, cfg, "", warmDir_);
     }
 
     res.perfImprovement = weightedSpeedupImprovement(res.metrics, base);

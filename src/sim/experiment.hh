@@ -59,10 +59,23 @@ struct ExperimentResult
  * captured to `<prefix>.core<i>.dastrace` (binary format) for later
  * `file:` replay; the static-design profiling pre-pass is excluded
  * from the capture, so replaying reproduces the measured run exactly.
+ *
+ * With a non-empty @p warm_dir the run participates in warm-start
+ * checkpoint sharing: the directory holds one warmed snapshot per
+ * config fingerprint (`warm_<fingerprint>.ckpt`, see
+ * configFingerprint()). If the snapshot for this run's fingerprint
+ * exists the run restores from it — skipping trace warm-up and the
+ * profiling pre-pass, whose results are part of the snapshot — and
+ * simulates only the measured window; otherwise the run executes
+ * normally and publishes its post-warm-up state for later runs.
+ * Either way the metrics are bit-identical to a cold run. Not
+ * combinable with @p record_prefix (recorder file positions are not
+ * snapshotted).
  */
 RunMetrics runSimulation(const WorkloadSpec &workload,
                          const SimConfig &cfg,
-                         const std::string &record_prefix = "");
+                         const std::string &record_prefix = "",
+                         const std::string &warm_dir = "");
 
 /** mean_i(IPC_i / baselineIPC_i) - 1 (zero-IPC baselines count as 1). */
 double weightedSpeedupImprovement(const RunMetrics &metrics,
@@ -107,6 +120,13 @@ class ExperimentRunner
     /** Forget cached baselines (call after mutating the base config). */
     void invalidateBaselines();
 
+    /**
+     * Enable warm-start checkpoint sharing: every run forks from (or
+     * publishes) the warmed snapshot of its config fingerprint under
+     * @p dir. See runSimulation(). Set only while no run is in flight.
+     */
+    void setWarmStartDir(std::string dir) { warmDir_ = std::move(dir); }
+
     /** Geometric mean of (1 + improvement) minus 1 over results. */
     static double gmeanImprovement(const std::vector<double> &improvements);
 
@@ -119,6 +139,7 @@ class ExperimentRunner
     RunMetrics baseline(const WorkloadSpec &workload);
 
     SimConfig base_;
+    std::string warmDir_; ///< warm-start checkpoint dir (empty: off)
     std::mutex mutex_; ///< guards baselines_ (the map, not the runs)
     std::map<std::string, std::shared_future<RunMetrics>> baselines_;
     EnergyParams energyParams_{};

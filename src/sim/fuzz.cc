@@ -4,8 +4,10 @@
 #include <memory>
 #include <sstream>
 
+#include "common/binfmt.hh"
 #include "common/log.hh"
 #include "common/random.hh"
+#include "common/serde.hh"
 #include "dram/dram_system.hh"
 #include "dram/protocol_checker.hh"
 #include "dram/row_class.hh"
@@ -19,6 +21,9 @@ namespace dasdram
 
 namespace
 {
+
+/** Envelope magic of the in-memory fuzz checkpoint ("DFZP"). */
+constexpr std::uint32_t kFuzzSnapshotMagic = 0x505a4644u;
 
 /** Row-class oracle for @p design, mirroring System's choice. */
 std::unique_ptr<RowClassifier>
@@ -93,14 +98,19 @@ runProtocolFuzz(const FuzzCase &c, const DramTiming &dut,
         uniform ? static_cast<const RowClassifier &>(*uniform)
                 : static_cast<const RowClassifier &>(layout);
 
-    ProtocolChecker checker(c.geom, reference, &cls);
-    CommandFanout fanout;
-    fanout.addSink(&checker);
-    fanout.addSink(extra_sink);
+    // dram / checker / fanout live on the heap so the mid-run snapshot
+    // round trip (checkpointAtCycle) can tear them down and rebuild
+    // fresh instances from the serialized bytes alone.
+    auto checker =
+        std::make_unique<ProtocolChecker>(c.geom, reference, &cls);
+    auto fanout = std::make_unique<CommandFanout>();
+    fanout->addSink(checker.get());
+    fanout->addSink(extra_sink);
 
-    DramSystem dram(c.geom, dut, cls, c.ctrl, c.mapping);
-    dram.setCommandSink(&fanout);
-    dram.setChannelThreads(c.channelThreads);
+    auto dram = std::make_unique<DramSystem>(c.geom, dut, cls, c.ctrl,
+                                             c.mapping);
+    dram->setCommandSink(fanout.get());
+    dram->setChannelThreads(c.channelThreads);
 
     // Request-span tracing under fuzz traffic: every created request
     // draws a sampling decision (before the canAccept bail-out, so the
@@ -109,7 +119,7 @@ runProtocolFuzz(const FuzzCase &c, const DramTiming &dut,
     RequestTracer tracer(c.seed, c.traceRequests);
     CountingSpanSink span_sink;
     if (c.traceRequests > 0.0)
-        dram.setRequestTraceSink(&span_sink);
+        dram->setRequestTraceSink(&span_sink);
 
     FuzzReport rep;
     rep.name = c.name;
@@ -167,6 +177,54 @@ runProtocolFuzz(const FuzzCase &c, const DramTiming &dut,
 
     Cycle now_tick = 0;
     for (Cycle mem_cycle = 0; mem_cycle < max_mem_cycles; ++mem_cycle) {
+        if (c.checkpointAtCycle > 0 &&
+            mem_cycle == c.checkpointAtCycle) {
+            // Snapshot round trip: serialize the DRAM system and the
+            // checker, destroy them, rebuild fresh instances and
+            // restore — the remainder of the run must be
+            // indistinguishable from never having checkpointed.
+            if (event)
+                dram->tick(now_tick); // catch up; pure clock advance
+            Archive saver;
+            dram->serdeState(saver);
+            checker->serdeState(saver);
+            std::vector<unsigned char> bytes = binfmt::encodeEnvelope(
+                kFuzzSnapshotMagic, 1, saver.take());
+
+            dram = std::make_unique<DramSystem>(c.geom, dut, cls,
+                                                c.ctrl, c.mapping);
+            checker = std::make_unique<ProtocolChecker>(c.geom,
+                                                        reference, &cls);
+            fanout = std::make_unique<CommandFanout>();
+            fanout->addSink(checker.get());
+            fanout->addSink(extra_sink);
+            dram->setCommandSink(fanout.get());
+            dram->setChannelThreads(c.channelThreads);
+            if (c.traceRequests > 0.0)
+                dram->setRequestTraceSink(&span_sink);
+
+            binfmt::EnvelopeResult res = binfmt::decodeEnvelope(
+                bytes, kFuzzSnapshotMagic, 1, "fuzz checkpoint");
+            if (!res.ok())
+                fatal("fuzz checkpoint round trip: {}", res.error);
+            Archive loader(std::move(res.payload));
+            dram->serdeState(loader);
+            checker->serdeState(loader);
+            loader.finish();
+            // The harness owns every in-flight callback: reinstall
+            // them uniformly (see DramSystem::rebind*).
+            dram->rebindRequests([&rep](const MemRequest &) {
+                return [&rep](MemRequest &, Cycle) { ++rep.completed; };
+            });
+            dram->rebindMigrations(
+                [&rep, &pending_migrations](const MigrationJob &) {
+                    return [&rep, &pending_migrations](Cycle) {
+                        ++rep.migrationsDone;
+                        --pending_migrations;
+                    };
+                });
+            next_wake_mem = 0; // re-probe the horizon next iteration
+        }
         bool injected = false;
         // Inject 0-2 demand requests per cycle while traffic remains.
         unsigned burst = static_cast<unsigned>(rng.nextBelow(3));
@@ -180,8 +238,8 @@ runProtocolFuzz(const FuzzCase &c, const DramTiming &dut,
                 req->isWrite = e.isWrite;
                 Addr line = e.addr % c.geom.capacityBytes();
                 line -= line % c.geom.lineBytes;
-                req->loc = dram.mapper().decode(line);
-                req->addr = dram.mapper().encode(req->loc);
+                req->loc = dram->mapper().decode(line);
+                req->addr = dram->mapper().encode(req->loc);
             } else {
                 req->isWrite = rng.chance(c.writeFraction);
                 req->loc.channel = static_cast<unsigned>(
@@ -192,7 +250,7 @@ runProtocolFuzz(const FuzzCase &c, const DramTiming &dut,
                     rng.nextBelow(c.geom.banksPerRank));
                 req->loc.row = pickRow(rng, c);
                 req->loc.column = rng.nextBelow(columns);
-                req->addr = dram.mapper().encode(req->loc);
+                req->addr = dram->mapper().encode(req->loc);
             }
             req->onComplete = [&rep](MemRequest &, Cycle) {
                 ++rep.completed;
@@ -209,11 +267,11 @@ runProtocolFuzz(const FuzzCase &c, const DramTiming &dut,
                     req->span->submitTick = now_tick;
                 }
             }
-            if (!dram.canAccept(req->loc, req->isWrite))
+            if (!dram->canAccept(req->loc, req->isWrite))
                 break;
             if (event)
-                dram.tick(now_tick); // catch up; no-op when current
-            dram.submit(std::move(req), now_tick);
+                dram->tick(now_tick); // catch up; no-op when current
+            dram->submit(std::move(req), now_tick);
             ++rep.submitted;
             injected = true;
         }
@@ -237,8 +295,8 @@ runProtocolFuzz(const FuzzCase &c, const DramTiming &dut,
             ++pending_migrations;
             ++rep.migrationsStarted;
             if (event)
-                dram.tick(now_tick); // catch up; no-op when current
-            dram.startMigration(ch, ra, ba, row_a, row_b, full_swap,
+                dram->tick(now_tick); // catch up; no-op when current
+            dram->startMigration(ch, ra, ba, row_a, row_b, full_swap,
                                 base, base + group_size,
                                 [&rep, &pending_migrations](Cycle) {
                                     ++rep.migrationsDone;
@@ -252,23 +310,23 @@ runProtocolFuzz(const FuzzCase &c, const DramTiming &dut,
         // injection, which forces one), so skipped cycles cannot be
         // the first cycle it would have fired on.
         if (!event || injected || mem_cycle + 1 >= next_wake_mem) {
-            dram.tick(now_tick);
+            dram->tick(now_tick);
             if (event) {
                 // now_tick is (mem_cycle + 1) * kMemTick here, so this
                 // probes the horizon from the next memory cycle.
-                next_wake_mem = dram.nextWakeMemCycle(now_tick / kMemTick);
+                next_wake_mem = dram->nextWakeMemCycle(now_tick / kMemTick);
             }
             if (rep.submitted >= c.requests &&
-                rep.completed >= rep.submitted && !dram.busy()) {
+                rep.completed >= rep.submitted && !dram->busy()) {
                 rep.drained = true;
                 break;
             }
         }
     }
 
-    rep.commands = checker.commandCount();
-    rep.violations = checker.violationCount();
-    rep.firstViolation = checker.firstViolation();
+    rep.commands = checker->commandCount();
+    rep.violations = checker->violationCount();
+    rep.firstViolation = checker->firstViolation();
     rep.spansEmitted = span_sink.count();
     return rep;
 }
@@ -360,12 +418,21 @@ runFuzzDifferential(const FuzzCase &c,
     if (c.traceRequests > 0.0)
         rates.push_back(c.traceRequests);
 
+    // With c.checkpointAtCycle set, cross the snapshot round trip too:
+    // every (engine, threads, rate) combination additionally runs with
+    // a mid-run checkpoint/restore, and must still match the straight
+    // (never-checkpointed) tick reference byte for byte.
+    std::vector<Cycle> checkpoints{0};
+    if (c.checkpointAtCycle > 0)
+        checkpoints.push_back(c.checkpointAtCycle);
+
     auto run_one = [&](SimEngine engine, unsigned nthreads, double rate,
-                       std::string &trace_text) {
+                       Cycle checkpoint, std::string &trace_text) {
         FuzzCase one = c;
         one.engine = engine;
         one.channelThreads = nthreads;
         one.traceRequests = rate;
+        one.checkpointAtCycle = checkpoint;
         std::ostringstream os;
         CommandTrace trace(os);
         FuzzReport rep = runProtocolFuzz(one, t, t, &trace);
@@ -378,45 +445,51 @@ runFuzzDifferential(const FuzzCase &c,
     // must match byte-for-byte.
     FuzzDifferential d;
     std::string ref_trace;
-    d.tick = run_one(SimEngine::Tick, threads.front(), 0.0, ref_trace);
+    d.tick =
+        run_one(SimEngine::Tick, threads.front(), 0.0, 0, ref_trace);
     bool have_event = false;
     std::uint64_t span_ref = 0;
     bool have_span_ref = false;
     for (SimEngine engine : {SimEngine::Tick, SimEngine::Event}) {
         for (unsigned n : threads) {
             for (double rate : rates) {
-                if (engine == SimEngine::Tick && n == threads.front() &&
-                    rate == 0.0) {
-                    continue;
-                }
-                std::string trace;
-                FuzzReport rep = run_one(engine, n, rate, trace);
-                if (engine == SimEngine::Event && !have_event &&
-                    rate == 0.0) {
-                    d.event = rep;
-                    have_event = true;
-                }
-                std::string detail;
-                diffRuns(detail, d.tick, rep, ref_trace, trace);
-                if (!detail.empty() && d.detail.empty()) {
-                    d.detail =
-                        formatStr("{}/threads={}/rate={}: {}",
-                                  toString(engine), n, rate, detail);
-                }
-                // Sampled runs must agree with each other on the span
-                // count: the decisions are a pure function of
-                // (seed, rate, creation order), all identical here.
-                if (rate > 0.0) {
-                    if (!have_span_ref) {
-                        span_ref = rep.spansEmitted;
-                        have_span_ref = true;
-                    } else if (rep.spansEmitted != span_ref &&
-                               d.detail.empty()) {
+                for (Cycle checkpoint : checkpoints) {
+                    if (engine == SimEngine::Tick &&
+                        n == threads.front() && rate == 0.0 &&
+                        checkpoint == 0) {
+                        continue;
+                    }
+                    std::string trace;
+                    FuzzReport rep =
+                        run_one(engine, n, rate, checkpoint, trace);
+                    if (engine == SimEngine::Event && !have_event &&
+                        rate == 0.0 && checkpoint == 0) {
+                        d.event = rep;
+                        have_event = true;
+                    }
+                    std::string detail;
+                    diffRuns(detail, d.tick, rep, ref_trace, trace);
+                    if (!detail.empty() && d.detail.empty()) {
                         d.detail = formatStr(
-                            "{}/threads={}/rate={}: spansEmitted {} != "
-                            "reference {}",
-                            toString(engine), n, rate, rep.spansEmitted,
-                            span_ref);
+                            "{}/threads={}/rate={}/checkpoint={}: {}",
+                            toString(engine), n, rate, checkpoint,
+                            detail);
+                    }
+                    // Sampled runs must agree with each other on the
+                    // span count: the decisions are a pure function of
+                    // (seed, rate, creation order), all identical here.
+                    if (rate > 0.0) {
+                        if (!have_span_ref) {
+                            span_ref = rep.spansEmitted;
+                            have_span_ref = true;
+                        } else if (rep.spansEmitted != span_ref &&
+                                   d.detail.empty()) {
+                            d.detail = formatStr(
+                                "{}/threads={}/rate={}/checkpoint={}: "
+                                "spansEmitted {} != reference {}",
+                                toString(engine), n, rate, checkpoint,
+                                rep.spansEmitted, span_ref);
+                        }
                     }
                 }
             }

@@ -77,6 +77,17 @@ struct FuzzCase
     unsigned channelThreads = 1;
 
     /**
+     * When > 0: at this memory cycle the run serializes the DRAM
+     * system and the protocol checker through the snapshot codec,
+     * destroys them, rebuilds fresh instances, restores and rebinds
+     * the in-flight callbacks — then continues. A checkpoint round
+     * trip must be invisible: the report and the complete command
+     * trace must match a straight run byte for byte, which is exactly
+     * what the differential mode's checkpoint crossing enforces.
+     */
+    Cycle checkpointAtCycle = 0;
+
+    /**
      * Request-span sampling rate in [0, 1] (mem/request_trace.hh).
      * When > 0 every created request draws a deterministic sampling
      * decision and sampled ones carry a span through the controller;
@@ -151,15 +162,18 @@ FuzzDifferential runFuzzDifferential(const FuzzCase &c);
 
 /**
  * Extended differential oracle crossing engines against channel-thread
- * counts — and, when c.traceRequests > 0, span sampling off/on: every
- * (engine, threads, rate) combination from {tick, event} ×
- * @p thread_counts × {0, c.traceRequests} runs with the same seed and
- * is compared — reports and full command traces — against the tick
- * run at the first thread count with sampling off, proving request
- * tracing is observation-only. Sampled runs must additionally agree
- * on the emitted span count. `detail` names the first diverging
- * combination. The returned `tick`/`event` reports are the two
- * unsampled runs at the first thread count.
+ * counts — and, when c.traceRequests > 0, span sampling off/on, and,
+ * when c.checkpointAtCycle > 0, a mid-run snapshot round trip
+ * off/on: every (engine, threads, rate, checkpoint) combination from
+ * {tick, event} × @p thread_counts × {0, c.traceRequests} ×
+ * {straight, checkpointed} runs with the same seed and is compared —
+ * reports and full command traces — against the straight tick run at
+ * the first thread count with sampling off, proving request tracing
+ * and checkpoint/restore are both observation-equivalent. Sampled
+ * runs must additionally agree on the emitted span count. `detail`
+ * names the first diverging combination. The returned `tick`/`event`
+ * reports are the two straight unsampled runs at the first thread
+ * count.
  */
 FuzzDifferential
 runFuzzDifferential(const FuzzCase &c,

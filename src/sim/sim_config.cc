@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <set>
 
+#include "common/binfmt.hh"
 #include "common/json.hh"
 #include "common/log.hh"
 #include "core/replacement_policy.hh"
@@ -336,6 +337,30 @@ configFromJson(const std::string &text, SimConfig base)
     }
     r.finish();
     return cfg;
+}
+
+std::uint64_t
+configFingerprint(const SimConfig &cfg)
+{
+    // Canonicalise through the JSON serialisation so the fingerprint
+    // follows the config schema automatically; neutralise the fields
+    // documented as excluded before hashing.
+    SimConfig c = cfg;
+    c.engine = SimEngine::Event;
+    c.channelThreads = 1;
+    c.obs.statsOut.clear();
+    c.obs.statsDir.clear();
+    c.obs.traceOut.clear();
+    c.obs.spansOut.clear();
+    c.obs.workloadName.clear();
+    c.obs.label.clear();
+    const std::string json = configToJson(c);
+    std::uint64_t h = binfmt::fnv1a64(json.data(), json.size());
+    // numCores is usually derived from the workload spec and not part
+    // of the JSON schema; systems built with explicit traces set it
+    // directly, so chain it in.
+    const std::uint64_t cores = cfg.numCores;
+    return binfmt::fnv1a64(&cores, sizeof(cores), h);
 }
 
 } // namespace dasdram

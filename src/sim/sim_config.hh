@@ -11,6 +11,7 @@
 #ifndef DASDRAM_SIM_SIM_CONFIG_HH
 #define DASDRAM_SIM_SIM_CONFIG_HH
 
+#include <cstdint>
 #include <string>
 
 #include "cache/hierarchy.hh"
@@ -175,6 +176,19 @@ std::string configToJson(const SimConfig &cfg);
  * never silently run the default. Returns the merged configuration.
  */
 SimConfig configFromJson(const std::string &text, SimConfig base = {});
+
+/**
+ * Deterministic fingerprint of every configuration field that shapes
+ * simulated state. Excluded: the export destinations (statsOut,
+ * statsDir, traceOut, spansOut), the run-identity strings
+ * (workloadName, label), the engine and channelThreads — all proven
+ * not to affect state, so a checkpoint can be restored under a
+ * different engine, thread count or output set. Everything else
+ * participates, including observability knobs that change the
+ * serialised shape (histograms, epochMemCycles, traceRequests).
+ * Stamped into checkpoints and enforced at load.
+ */
+std::uint64_t configFingerprint(const SimConfig &cfg);
 
 } // namespace dasdram
 

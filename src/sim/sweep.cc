@@ -130,7 +130,7 @@ SweepRunner::baselineFor(const WorkloadSpec &workload)
             cfg.obs.statsOut = cfg.obs.statsDir + "/baseline_" +
                                sanitizeToken(workload.name) + ".jsonl";
         }
-        promise.set_value(runSimulation(workload, cfg));
+        promise.set_value(runSimulation(workload, cfg, "", warmDir_));
     }
     return future.get();
 }
@@ -167,7 +167,7 @@ SweepRunner::runPoint(const SweepPoint &point, std::size_t index)
                 name += "_" + sanitizeToken(point.label);
             cfg.obs.statsOut = cfg.obs.statsDir + "/" + name + ".jsonl";
         }
-        res.metrics = runSimulation(point.workload, cfg);
+        res.metrics = runSimulation(point.workload, cfg, "", warmDir_);
         if (point.needBaseline) {
             res.perfImprovement = weightedSpeedupImprovement(
                 res.metrics, baselineFor(point.workload));

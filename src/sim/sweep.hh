@@ -97,6 +97,16 @@ class SweepRunner
     std::size_t size() const { return points_.size(); }
 
     /**
+     * Enable warm-start checkpoint sharing for every point (baselines
+     * included): each run forks from the warmed snapshot of its config
+     * fingerprint under @p dir when one exists, and publishes its own
+     * otherwise — so re-running a sweep against the same directory
+     * skips all warm-up re-simulation while producing bit-identical
+     * results (see runSimulation()). Call before run().
+     */
+    void setWarmStartDir(std::string dir) { warmDir_ = std::move(dir); }
+
+    /**
      * Effective worker count for a requested value: @p requested if
      * non-zero, else the DAS_JOBS environment variable (positive
      * integer), else std::thread::hardware_concurrency(), floored
@@ -123,6 +133,7 @@ class SweepRunner
 
     SimConfig base_;
     unsigned jobs_;
+    std::string warmDir_; ///< warm-start checkpoint dir (empty: off)
     std::vector<SweepPoint> points_;
     bool ran_ = false;
 

@@ -1,8 +1,10 @@
 #include "system.hh"
 
+#include <algorithm>
 #include <limits>
 #include <ostream>
 
+#include "common/binfmt.hh"
 #include "common/log.hh"
 #include "common/stats_jsonl.hh"
 #include "workload/workload_spec.hh"
@@ -115,16 +117,27 @@ System::System(const SimConfig &cfg, std::vector<TraceSource *> traces)
             }
         }
         das_->access(line, /*is_write=*/true, /*core=*/-1,
-                     DasManager::DoneFn{}, now_, std::move(span));
+                     Continuation{}, now_, std::move(span));
     };
+
+    // Both asynchronous completion paths — MSHR waiters and DAS
+    // demand/walk completions — deliver serialisable Continuation
+    // tokens to the one interpreter, so a restored snapshot resumes
+    // in-flight work by reinstalling these two hooks.
+    mshrs_->setDispatcher(
+        [this](const Continuation &cont, Addr, Cycle t) {
+            dispatchContinuation(cont, t);
+        });
+    das_->setCompletionHook([this](const Continuation &cont, Cycle t) {
+        dispatchContinuation(cont, t);
+    });
 
     for (unsigned i = 0; i < cfg_.numCores; ++i) {
         Addr base = cfg_.coreBase(i);
         cores_.push_back(std::make_unique<Core>(
             static_cast<int>(i), cfg_.core, *traces_[i],
-            [this, i, base](Addr a, bool w,
-                            std::function<void(Cycle)> done) {
-                handleCoreAccess(i, a + base, w, std::move(done));
+            [this, i, base](Addr a, bool w, unsigned slot) {
+                handleCoreAccess(i, a + base, w, slot);
             }));
         statGroup_.addChild(&cores_.back()->stats());
     }
@@ -250,40 +263,63 @@ System::attachRequestSpanTrace(std::ostream &os)
 }
 
 void
-System::scheduleEvent(Cycle at, std::function<void()> fn)
-{
-    events_.push(Event{at, eventSeq_++, std::move(fn)});
-}
-
-void
 System::handleCoreAccess(unsigned core, Addr addr, bool is_write,
-                         std::function<void(Cycle)> done)
+                         unsigned slot)
 {
     CacheAccessResult res = caches_->access(core, addr, is_write, wbSink_);
     if (res.level != HitLevel::Miss) {
-        done(now_ + res.latencyTicks);
+        if (slot != Continuation::kNoSlot)
+            cores_[core]->completeLoad(slot, now_ + res.latencyTicks);
         return;
     }
-    Cycle at = now_ + res.latencyTicks;
-    Addr line = res.lineAddr;
-    const Cycle issue = now_; // core-issue stage of a sampled span
-    scheduleEvent(at, [this, core, line, is_write, issue,
-                       done = std::move(done)]() mutable {
-        startMiss(core, line, is_write, now_, issue);
-        // Register this access's waiter after startMiss ensured an
-        // MSHR entry exists (or will retry below).
-        if (mshrs_->outstanding(line)) {
-            mshrs_->addWaiter(line,
-                              [done = std::move(done)](Addr, Cycle t) {
-                                  done(t);
-                              });
-        } else {
-            // MSHR file full and allocation deferred: complete the
-            // load pessimistically when the retry path resolves. To
-            // keep bookkeeping simple we retry the whole access.
-            handleCoreAccess(core, line, is_write, std::move(done));
-        }
-    });
+    MissEvent ev;
+    ev.at = now_ + res.latencyTicks;
+    ev.seq = eventSeq_++;
+    ev.core = core;
+    ev.slot = slot;
+    ev.line = res.lineAddr;
+    ev.isWrite = is_write;
+    ev.issueTick = now_; // core-issue stage of a sampled span
+    events_.push_back(ev);
+    std::push_heap(events_.begin(), events_.end(),
+                   std::greater<MissEvent>{});
+}
+
+void
+System::runMissEvent(const MissEvent &ev)
+{
+    startMiss(ev.core, ev.line, ev.isWrite, now_, ev.issueTick);
+    // Register this access's waiter after startMiss ensured an MSHR
+    // entry exists (or will retry below).
+    if (mshrs_->outstanding(ev.line)) {
+        mshrs_->addWaiter(ev.line,
+                          ev.slot != Continuation::kNoSlot
+                              ? Continuation::coreLoad(ev.core, ev.slot)
+                              : Continuation{});
+    } else {
+        // MSHR file full and allocation deferred: complete the load
+        // pessimistically when the retry path resolves. To keep
+        // bookkeeping simple we retry the whole access.
+        handleCoreAccess(ev.core, ev.line, ev.isWrite, ev.slot);
+    }
+}
+
+void
+System::dispatchContinuation(const Continuation &cont, Cycle at)
+{
+    switch (cont.kind) {
+      case Continuation::Kind::None:
+        return;
+      case Continuation::Kind::CoreLoad:
+        cores_[cont.core]->completeLoad(cont.slot, at);
+        return;
+      case Continuation::Kind::DemandFill:
+        caches_->fill(cont.core, cont.line, cont.isWrite, wbSink_);
+        mshrs_->complete(cont.line, at);
+        return;
+    }
+    panic("unknown continuation kind {}",
+          static_cast<unsigned>(cont.kind));
 }
 
 void
@@ -309,11 +345,8 @@ System::startMiss(unsigned core, Addr line, bool is_write, Cycle at,
         }
     }
     das_->access(line, /*is_write=*/false, static_cast<int>(core),
-                 [this, core, line, is_write](Cycle t) {
-                     caches_->fill(core, line, is_write, wbSink_);
-                     mshrs_->complete(line, t);
-                 },
-                 at, std::move(span));
+                 Continuation::demandFill(core, line, is_write), at,
+                 std::move(span));
 }
 
 void
@@ -389,7 +422,11 @@ System::fastForward(Cycle next_cpu_at)
         stop = std::min(stop, h);
     }
     if (!events_.empty())
-        stop = std::min(stop, events_.top().at);
+        stop = std::min(stop, events_.front().at);
+    // A scheduled checkpoint must be taken at its exact loop top, so
+    // never skip across one.
+    if (!checkpoints_.empty())
+        stop = std::min(stop, roundUpToCpuTick(nextCheckpointTick()));
     if (stop <= next_cpu_at)
         return next_cpu_at;
     stop = std::min(stop, das_->nextWakeTick(now_));
@@ -470,8 +507,11 @@ System::run()
     const InstCount warmup = cfg_.warmupInstructions();
     const InstCount target = cfg_.instructionsPerCore;
     const bool event_engine = cfg_.engine == SimEngine::Event;
-    Cycle next_cpu_at = 0;
-    InstCount warmup_retired_base = 0;
+    // A restored snapshot resumes at the loop top it was saved at;
+    // warmup_retired_base is reconstructible (run() always sets it to
+    // `warmup` at the reset), so it is not serialised.
+    Cycle next_cpu_at = now_;
+    InstCount warmup_retired_base = warmupDone_ ? warmup : 0;
 
     auto min_retired = [this]() {
         InstCount m = kCycleMax;
@@ -483,10 +523,15 @@ System::run()
     while (true) {
         now_ = next_cpu_at;
 
-        while (!events_.empty() && events_.top().at <= now_) {
-            auto fn = events_.top().fn;
-            events_.pop();
-            fn();
+        if (!checkpoints_.empty())
+            maybeCheckpoint();
+
+        while (!events_.empty() && events_.front().at <= now_) {
+            MissEvent ev = events_.front();
+            std::pop_heap(events_.begin(), events_.end(),
+                          std::greater<MissEvent>{});
+            events_.pop_back();
+            runMissEvent(ev);
         }
 
         das_->tick(now_);
@@ -503,6 +548,14 @@ System::run()
             if (done >= warmup) {
                 resetAfterWarmup();
                 warmup_retired_base = warmup;
+                if (!warmupCheckpointPath_.empty()) {
+                    // Tick 0 is already past: the snapshot is taken at
+                    // the next loop top, a deterministic iteration
+                    // boundary just after the statistics reset.
+                    checkpoints_.emplace_back(
+                        0, std::move(warmupCheckpointPath_));
+                    warmupCheckpointPath_.clear();
+                }
             }
         }
         if (done >= target - (warmupDone_ ? warmup_retired_base : 0))
@@ -513,6 +566,17 @@ System::run()
         // here cannot jump over either threshold.
         if (event_engine)
             next_cpu_at = fastForward(next_cpu_at);
+    }
+
+    for (const auto &cp : checkpoints_) {
+        warn("checkpoint '{}' scheduled at tick {} was never taken: "
+             "the run ended at tick {}",
+             cp.second, cp.first, now_);
+    }
+    if (!warmupCheckpointPath_.empty()) {
+        warn("warm-up checkpoint '{}' was never taken: the run ended "
+             "before warm-up completed",
+             warmupCheckpointPath_);
     }
 
     RunMetrics m;
@@ -551,6 +615,141 @@ System::run()
               checker_->firstViolation());
     }
     return m;
+}
+
+void
+System::scheduleCheckpoint(Cycle tick, std::string path)
+{
+    checkpoints_.emplace_back(tick, std::move(path));
+}
+
+void
+System::checkpointAtWarmup(std::string path)
+{
+    if (warmupDone_)
+        fatal("checkpointAtWarmup: warm-up already completed");
+    warmupCheckpointPath_ = std::move(path);
+}
+
+Cycle
+System::nextCheckpointTick() const
+{
+    Cycle t = kCycleMax;
+    for (const auto &[tick, path] : checkpoints_)
+        t = std::min(t, tick);
+    return t;
+}
+
+void
+System::maybeCheckpoint()
+{
+    for (std::size_t i = 0; i < checkpoints_.size();) {
+        if (checkpoints_[i].first <= now_) {
+            saveSnapshot(checkpoints_[i].second);
+            checkpoints_.erase(checkpoints_.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+        } else {
+            ++i;
+        }
+    }
+}
+
+void
+System::serdeState(Archive &ar)
+{
+    ar.section("system");
+    ar.io(now_);
+    ar.io(eventSeq_);
+    ar.io(warmupDone_);
+    ar.io(warmupCycleStamp_);
+
+    // The pending miss events round-trip as the raw heap array, so
+    // the restored heap pops in exactly the straight run's order.
+    std::uint64_t n_events = events_.size();
+    ar.io(n_events);
+    if (ar.loading())
+        events_.resize(static_cast<std::size_t>(n_events));
+    for (MissEvent &ev : events_)
+        ev.serdeState(ar);
+
+    ar.expectCount(traces_.size(), "trace sources");
+    for (TraceSource *t : traces_)
+        t->serdeState(ar);
+    ar.expectCount(cores_.size(), "cores");
+    for (auto &c : cores_)
+        c->serdeState(ar);
+    caches_->serdeState(ar);
+    mshrs_->serdeState(ar);
+    das_->serdeState(ar);
+    dram_->serdeState(ar);
+
+    // Optional components: presence is config-derived and already
+    // pinned by the fingerprint; these gates turn a serde bug into a
+    // named error instead of a desync.
+    bool has_checker = checker_ != nullptr;
+    ar.io(has_checker);
+    if (has_checker != (checker_ != nullptr))
+        fatal("checkpoint: protocol-checker presence mismatch");
+    if (checker_)
+        checker_->serdeState(ar);
+    bool has_tracer = tracer_ != nullptr;
+    ar.io(has_tracer);
+    if (has_tracer != (tracer_ != nullptr))
+        fatal("checkpoint: request-tracer presence mismatch");
+    if (tracer_) {
+        tracer_->serdeState(ar);
+        spanAgg_->serdeState(ar);
+    }
+    bool has_epochs = epochs_ != nullptr;
+    ar.io(has_epochs);
+    if (has_epochs != (epochs_ != nullptr))
+        fatal("checkpoint: epoch-series presence mismatch");
+    if (epochs_)
+        epochs_->serdeState(ar);
+
+    // Every registered statistic (cores, caches, DAS, DRAM, MSHRs,
+    // span aggregator, nested groups) in registration order.
+    statGroup_.serdeTree(ar);
+    ar.end();
+}
+
+void
+System::saveSnapshot(const std::string &path)
+{
+    Archive ar;
+    std::uint64_t fp = configFingerprint(cfg_);
+    ar.io(fp);
+    serdeState(ar);
+    std::string err = binfmt::writeEnvelopeFile(
+        path, kSnapshotMagic, kSnapshotVersion, ar.take());
+    if (!err.empty())
+        fatal("checkpoint '{}': {}", path, err);
+}
+
+void
+System::loadSnapshot(const std::string &path)
+{
+    binfmt::EnvelopeResult env = binfmt::readEnvelopeFile(
+        path, kSnapshotMagic, kSnapshotVersion, "checkpoint");
+    if (!env.ok())
+        fatal("checkpoint '{}': {}", path, env.error);
+    Archive ar(std::move(env.payload));
+    std::uint64_t fp = 0;
+    ar.io(fp);
+    const std::uint64_t want = configFingerprint(cfg_);
+    if (fp != want) {
+        fatal("checkpoint '{}': config fingerprint mismatch ({} in "
+              "file, {} for this configuration) — a restore needs the "
+              "same state-shaping configuration the checkpoint was "
+              "taken with (export paths, engine and channel threading "
+              "may differ)",
+              path, fp, want);
+    }
+    serdeState(ar);
+    ar.finish();
+    // Reinstall the completion callbacks of requests and migrations
+    // still in flight inside the DRAM system.
+    das_->rebindInFlight();
 }
 
 void

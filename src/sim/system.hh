@@ -10,12 +10,15 @@
 #include <fstream>
 #include <functional>
 #include <memory>
-#include <queue>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "cache/hierarchy.hh"
 #include "cache/mshr.hh"
+#include "common/continuation.hh"
 #include "common/epoch_series.hh"
+#include "common/serde.hh"
 #include "core/das_manager.hh"
 #include "core/designs.hh"
 #include "cpu/core.hh"
@@ -168,10 +171,111 @@ class System
     /** The epoch series (nullptr when cfg.obs.epochMemCycles == 0). */
     const EpochSeries *epochs() const { return epochs_.get(); }
 
+    /// @name Snapshot / restore
+    /// @{
+
+    /**
+     * Serialise (or restore) every component's state through the one
+     * serde visitor: cores, traces, caches, MSHRs, DAS manager, DRAM,
+     * pending miss events, the clock, warm-up bookkeeping, the
+     * protocol checker / tracer / epoch series when present, and the
+     * full statistic tree. Symmetric — the same call drives both
+     * directions.
+     */
+    void serdeState(Archive &ar);
+
+    /**
+     * Write a versioned checkpoint of the entire system to @p path:
+     * a binfmt envelope (magic, schema version, payload length,
+     * trailing checksum) whose payload opens with the configuration
+     * fingerprint. Fatal on I/O error.
+     */
+    void saveSnapshot(const std::string &path);
+
+    /**
+     * Restore state from a checkpoint written by saveSnapshot. The
+     * system must be built from a configuration whose fingerprint
+     * matches the checkpoint's (export paths, engine and channel
+     * threading may differ — see configFingerprint); mismatches, bad
+     * magic, truncation and too-new versions are fatal. A subsequent
+     * run() continues bit-identically to a run that never stopped.
+     */
+    void loadSnapshot(const std::string &path);
+
+    /**
+     * Schedule a checkpoint: at the top of the first run() iteration
+     * at or after @p tick the full state is saved to @p path. Tick 0
+     * saves at the first iteration. Call before run(); repeatable.
+     */
+    void scheduleCheckpoint(Cycle tick, std::string path);
+
+    /**
+     * Save a checkpoint at the first iteration after the warm-up
+     * statistics reset — the shared warm state that warm-start sweep
+     * forking resumes from.
+     */
+    void checkpointAtWarmup(std::string path);
+
+    /** Checkpoint envelope identity (shared with tests and tools). */
+    static constexpr std::uint32_t kSnapshotMagic = 0x504b4344u; // "DCKP"
+    static constexpr std::uint16_t kSnapshotVersion = 1;
+    /// @}
+
   private:
+    /**
+     * A deferred LLC-miss hand-off: the cache-latency delay between a
+     * core access missing the hierarchy and the MSHR/DRAM side seeing
+     * it. A POD (no closures) so the pending-event heap serialises
+     * verbatim and a restored run pops events in exactly the straight
+     * run's (at, seq) order.
+     */
+    struct MissEvent
+    {
+        Cycle at = 0;
+        std::uint64_t seq = 0;
+        unsigned core = 0;
+        unsigned slot = Continuation::kNoSlot;
+        Addr line = 0;
+        bool isWrite = false;
+        Cycle issueTick = 0;
+
+        bool
+        operator>(const MissEvent &o) const
+        {
+            return at != o.at ? at > o.at : seq > o.seq;
+        }
+
+        void
+        serdeState(Archive &ar)
+        {
+            ar.io(at);
+            ar.io(seq);
+            ar.io(core);
+            ar.io(slot);
+            ar.io(line);
+            ar.io(isWrite);
+            ar.io(issueTick);
+        }
+    };
+
+    /**
+     * @p slot: the issuing ROB slot for loads (completed via
+     * Core::completeLoad), Continuation::kNoSlot for stores.
+     */
     void handleCoreAccess(unsigned core, Addr addr, bool is_write,
-                          std::function<void(Cycle)> done);
-    void scheduleEvent(Cycle at, std::function<void()> fn);
+                          unsigned slot);
+    /** Run one due miss event (start the fill, register the waiter). */
+    void runMissEvent(const MissEvent &ev);
+    /**
+     * Interpret a completed token: core-load wakeups and demand fills
+     * from any component (MSHR dispatcher, DAS completion hook) funnel
+     * through here.
+     */
+    void dispatchContinuation(const Continuation &cont, Cycle at);
+    /** Save every scheduled checkpoint whose tick has been reached. */
+    void maybeCheckpoint();
+    /** Earliest scheduled-checkpoint tick (kCycleMax when none). */
+    Cycle nextCheckpointTick() const;
 
     /**
      * Event engine: starting from the iteration scheduled at
@@ -235,19 +339,16 @@ class System
     std::unique_ptr<MshrFile> mshrs_;
     std::vector<std::unique_ptr<Core>> cores_;
 
-    struct Event
-    {
-        Cycle at;
-        std::uint64_t seq;
-        std::function<void()> fn;
-        bool operator>(const Event &o) const
-        {
-            return at != o.at ? at > o.at : seq > o.seq;
-        }
-    };
-    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
-        events_;
+    /** Pending miss events as an explicit min-heap (std::push_heap /
+     *  std::pop_heap with greater<>) so checkpoints capture the raw
+     *  heap array — identical bytes, identical pop order. */
+    std::vector<MissEvent> events_;
     std::uint64_t eventSeq_ = 0;
+
+    /** Scheduled (tick, path) checkpoints still to be taken. */
+    std::vector<std::pair<Cycle, std::string>> checkpoints_;
+    /** Non-empty: checkpoint here right after the warm-up reset. */
+    std::string warmupCheckpointPath_;
 
     Cycle now_ = 0;
     CacheHierarchy::WritebackSink wbSink_;

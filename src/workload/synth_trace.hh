@@ -53,6 +53,32 @@ class SyntheticTrace : public TraceSource
     /** Number of phase transitions so far. */
     std::uint64_t phaseCount() const { return phase_; }
 
+    /** Checkpoint the generator's dynamic state (stream cursors, hot
+     *  salts, working set, reuse window, RNG). Knobs derived from the
+     *  (profile, seed) constructor arguments are not stored — the
+     *  snapshot fingerprint guarantees they match on restore. */
+    void
+    serdeState(Archive &ar) override
+    {
+        ar.section("synthTrace");
+        ar.io(streamPos_);
+        ar.io(nextStream_);
+        ar.io(sliceSalt_);
+        ar.io(workSet_);
+        ar.io(workHead_);
+        for (Addr &a : recent_)
+            ar.io(a);
+        ar.io(recentCount_);
+        ar.io(runLeft_);
+        ar.io(runLine_);
+        ar.io(instCount_);
+        ar.io(nextPhaseAt_);
+        ar.io(phase_);
+        ar.io(gapMean_);
+        rng_.serdeState(ar);
+        ar.end();
+    }
+
   private:
     Addr pickLine();
     void maybeAdvancePhase();

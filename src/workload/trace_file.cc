@@ -354,6 +354,26 @@ FileTraceSource::reset()
         readHeader();
 }
 
+void
+FileTraceSource::serdeState(Archive &ar)
+{
+    ar.section("fileTrace");
+    std::uint64_t n = delivered_;
+    ar.io(n);
+    ar.end();
+    if (!ar.loading())
+        return;
+    reset();
+    TraceEntry e;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        if (!next(e))
+            fatal("trace '{}': checkpoint recorded {} delivered records "
+                  "but replay exhausted the file after {} — the trace "
+                  "changed since the snapshot was taken",
+                  path(), n, i);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // BinaryTraceWriter
 

@@ -132,6 +132,15 @@ class FileTraceSource : public TraceSource
     bool next(TraceEntry &out) override;
     void reset() override;
 
+    /**
+     * Checkpoint by position: only the delivered-record count is
+     * stored; restoring rewinds the file and replays that many
+     * records. Replay is deterministic (reset() is byte-identical),
+     * so the parser cursor, shard position, pass count and loop flag
+     * all land exactly where the saved run left them.
+     */
+    void serdeState(Archive &ar) override;
+
     /** The resolved (post-sniffing) format. */
     TraceFormat format() const { return format_; }
 

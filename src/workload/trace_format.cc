@@ -2,6 +2,7 @@
 
 #include <cctype>
 
+#include "common/binfmt.hh"
 #include "common/strfmt.hh"
 
 namespace dasdram
@@ -126,21 +127,8 @@ saturate32(std::uint64_t v)
                              : static_cast<std::uint32_t>(v);
 }
 
-void
-putLe(unsigned char *dst, std::uint64_t v, unsigned bytes)
-{
-    for (unsigned i = 0; i < bytes; ++i)
-        dst[i] = static_cast<unsigned char>(v >> (8 * i));
-}
-
-std::uint64_t
-getLe(const unsigned char *src, unsigned bytes)
-{
-    std::uint64_t v = 0;
-    for (unsigned i = 0; i < bytes; ++i)
-        v |= static_cast<std::uint64_t>(src[i]) << (8 * i);
-    return v;
-}
+using binfmt::getLe;
+using binfmt::putLe;
 
 } // namespace
 
@@ -251,9 +239,9 @@ decodeBinaryHeader(const unsigned char *src, BinaryTraceHeader &out,
                         out.magic);
         return false;
     }
-    if (out.version != kBinaryTraceVersion) {
-        err = formatStr("unsupported binary-trace version {} (this "
-                        "build reads version {})",
+    if (out.version > kBinaryTraceVersion || out.version == 0) {
+        err = formatStr("binary-trace version {} is newer than this "
+                        "build understands (max {})",
                         out.version, kBinaryTraceVersion);
         return false;
     }

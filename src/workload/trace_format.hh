@@ -93,7 +93,13 @@ bool parseDramsim3Line(std::string_view line, Dramsim3Cursor &cur,
 /// @name Internal binary format
 /// @{
 
-/** Magic bytes "DAST" (little-endian u32) opening a binary trace. */
+/**
+ * Magic bytes "DAST" (little-endian u32) opening a binary trace.
+ * The 16-byte header shares the binfmt envelope header layout
+ * (magic u32, version u16, flags u16, u64) with the record count in
+ * the length slot; records stream behind it unframed (a trace writer
+ * cannot buffer the file for a trailing checksum).
+ */
 constexpr std::uint32_t kBinaryTraceMagic = 0x54534144u;
 
 /** Current (and only) binary-format version. */

@@ -16,11 +16,14 @@ TEST(Mshr, AllocateAndComplete)
     m.allocate(0x100);
     EXPECT_TRUE(m.outstanding(0x100));
     int fired = 0;
-    m.addWaiter(0x100, [&](Addr line, Cycle at) {
+    m.setDispatcher([&](const Continuation &c, Addr line, Cycle at) {
+        EXPECT_EQ(c.kind, Continuation::Kind::CoreLoad);
+        EXPECT_EQ(c.slot, 7u);
         EXPECT_EQ(line, 0x100u);
         EXPECT_EQ(at, 77u);
         ++fired;
     });
+    m.addWaiter(0x100, Continuation::coreLoad(0, 7));
     m.complete(0x100, 77);
     EXPECT_EQ(fired, 1);
     EXPECT_FALSE(m.outstanding(0x100));
@@ -31,8 +34,10 @@ TEST(Mshr, MultipleWaitersAllFire)
     MshrFile m(4);
     m.allocate(0x40);
     int fired = 0;
-    for (int i = 0; i < 5; ++i)
-        m.addWaiter(0x40, [&](Addr, Cycle) { ++fired; });
+    m.setDispatcher(
+        [&](const Continuation &, Addr, Cycle) { ++fired; });
+    for (unsigned i = 0; i < 5; ++i)
+        m.addWaiter(0x40, Continuation::coreLoad(0, i));
     m.complete(0x40, 1);
     EXPECT_EQ(fired, 5);
     EXPECT_EQ(m.coalesced(), 5u);

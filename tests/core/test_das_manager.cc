@@ -30,15 +30,16 @@ struct ManagerHarness
                                  20}),
           mgr((cfg.mode = cfg.mode, dram), &caches, layout, cfg)
     {
+        mgr.setCompletionHook(
+            [this](const Continuation &, Cycle at) { done = at; });
     }
 
     /** Issue an access and run until it completes. */
     Cycle
     accessAndWait(Addr addr, bool write = false)
     {
-        Cycle done = kCycleMax;
-        mgr.access(addr, write, 0,
-                   [&done](Cycle at) { done = at; }, now);
+        done = kCycleMax;
+        mgr.access(addr, write, 0, Continuation::coreLoad(0, 0), now);
         for (int i = 0; i < 200000 && done == kCycleMax; ++i) {
             now += kMemTick;
             mgr.tick(now);
@@ -65,6 +66,7 @@ struct ManagerHarness
     CacheHierarchy caches;
     DasManager mgr;
     Cycle now = 0;
+    Cycle done = kCycleMax; ///< last completion delivered to the hook
 };
 
 /** Address whose logical row is bank-local @p row of (ch0, ra0, ba0). */

@@ -98,6 +98,8 @@ struct InclusiveHarness
                                  20}),
           mgr(dram, &caches, layout, makeConfig())
     {
+        mgr.setCompletionHook(
+            [this](const Continuation &, Cycle at) { done = at; });
     }
 
     static DasConfig
@@ -114,9 +116,8 @@ struct InclusiveHarness
     {
         DramLoc loc{0, 0, 0, row, column};
         Addr addr = dram.mapper().encode(loc);
-        Cycle done = kCycleMax;
-        mgr.access(addr, write, 0, [&done](Cycle at) { done = at; },
-                   now);
+        done = kCycleMax;
+        mgr.access(addr, write, 0, Continuation::coreLoad(0, 0), now);
         for (int i = 0; i < 200000 && done == kCycleMax; ++i) {
             now += kMemTick;
             mgr.tick(now);
@@ -143,6 +144,7 @@ struct InclusiveHarness
     CacheHierarchy caches;
     DasManager mgr;
     Cycle now = 0;
+    Cycle done = kCycleMax; ///< last completion delivered to the hook
 };
 
 } // namespace

@@ -21,13 +21,15 @@ struct FixedLatencyMemory
 {
     Cycle latency = 0;
     Cycle now = 0;
-    std::vector<std::pair<Cycle, std::function<void(Cycle)>>> pending;
+    Core *core = nullptr; ///< set after the core is constructed
+    std::vector<std::pair<Cycle, unsigned>> pending; ///< (ready, slot)
 
     Core::MemAccessFn
     fn()
     {
-        return [this](Addr, bool, std::function<void(Cycle)> done) {
-            pending.emplace_back(now + latency, std::move(done));
+        return [this](Addr, bool, unsigned slot) {
+            if (slot != Core::kNoSlot)
+                pending.emplace_back(now + latency, slot);
         };
     }
 
@@ -37,8 +39,9 @@ struct FixedLatencyMemory
         now = t;
         for (std::size_t i = 0; i < pending.size();) {
             if (pending[i].first <= t) {
-                pending[i].second(pending[i].first);
-                pending[i] = std::move(pending.back());
+                core->completeLoad(pending[i].second,
+                                   pending[i].first);
+                pending[i] = pending.back();
                 pending.pop_back();
             } else {
                 ++i;
@@ -64,6 +67,7 @@ TEST(Core, IdealMemoryReachesIssueWidthIpc)
     VectorTraceSource trace(uniformTrace(1000, 99));
     FixedLatencyMemory mem;
     Core core(0, {}, trace, mem.fn());
+    mem.core = &core;
     for (Cycle t = 0; !core.finished() && t < 10'000'000; t += kCpuTick) {
         mem.tick(t);
         core.tick(t);
@@ -81,6 +85,8 @@ TEST(Core, SlowMemoryReducesIpc)
     FixedLatencyMemory slow_mem{cpuCyclesToTicks(400), 0, {}};
     Core fast_core(0, {}, fast_trace, fast_mem.fn());
     Core slow_core(1, {}, slow_trace, slow_mem.fn());
+    fast_mem.core = &fast_core;
+    slow_mem.core = &slow_core;
     for (Cycle t = 0; t < 4'000'000; t += kCpuTick) {
         fast_mem.tick(t);
         slow_mem.tick(t);
@@ -102,6 +108,7 @@ TEST(Core, WindowAllowsMemoryLevelParallelism)
     VectorTraceSource trace(uniformTrace(400, 3));
     FixedLatencyMemory mem{lat, 0, {}};
     Core core(0, {}, trace, mem.fn());
+    mem.core = &core;
     Cycle t = 0;
     for (; !core.finished() && t < 40'000'000; t += kCpuTick) {
         mem.tick(t);
@@ -120,8 +127,7 @@ TEST(Core, StoresDoNotBlockRetirement)
         entries.push_back({3, static_cast<Addr>(i) * 64, true});
     VectorTraceSource trace(entries);
     // Memory never answers: stores must still retire.
-    Core core(0, {}, trace,
-              [](Addr, bool, std::function<void(Cycle)>) {});
+    Core core(0, {}, trace, [](Addr, bool, unsigned) {});
     for (Cycle t = 0; !core.finished() && t < 1'000'000; t += kCpuTick)
         core.tick(t);
     EXPECT_TRUE(core.finished());
@@ -131,8 +137,7 @@ TEST(Core, StoresDoNotBlockRetirement)
 TEST(Core, UnansweredLoadStallsForever)
 {
     VectorTraceSource trace(uniformTrace(10, 0));
-    Core core(0, {}, trace,
-              [](Addr, bool, std::function<void(Cycle)>) {});
+    Core core(0, {}, trace, [](Addr, bool, unsigned) {});
     for (Cycle t = 0; t < 100000; t += kCpuTick)
         core.tick(t);
     EXPECT_FALSE(core.finished());
@@ -144,6 +149,7 @@ TEST(Core, ResetStatsClearsCountersOnly)
     VectorTraceSource trace(uniformTrace(1000, 10));
     FixedLatencyMemory mem;
     Core core(0, {}, trace, mem.fn());
+    mem.core = &core;
     for (Cycle t = 0; t < 100 * kCpuTick; t += kCpuTick) {
         mem.tick(t);
         core.tick(t);

@@ -235,7 +235,8 @@ TEST(TraceFile, BinaryVersionMismatchIsFatal)
                   std::string(reinterpret_cast<char *>(buf),
                               kBinaryHeaderBytes));
     EXPECT_DEATH(FileTraceSource(path, noLoop()),
-                 "unsupported binary-trace version");
+                 "binary-trace version .* is newer than this build "
+                 "understands");
 }
 
 TEST(TraceFile, BinaryTruncationIsFatal)

@@ -14,6 +14,9 @@
  *   dasdram_fuzz --trace-out t.json --filter das/migrate-heavy
  *   dasdram_fuzz --engine event        # horizon-skipping harness
  *   dasdram_fuzz --differential        # run tick AND event, diff them
+ *   dasdram_fuzz --differential --checkpoint-cycle 3000
+ *                                      # also cross a mid-run snapshot
+ *                                      # round trip vs straight runs
  *   dasdram_fuzz --workload spec:mcf   # trace-driven addresses
  *   dasdram_fuzz --workload file:t.trace --filter das/base
  *
@@ -31,6 +34,7 @@
 #include "common/cli.hh"
 #include "common/log.hh"
 #include "dram/trace_json.hh"
+#include "sim/config_cli.hh"
 #include "sim/fuzz.hh"
 
 using namespace dasdram;
@@ -67,6 +71,11 @@ main(int argc, char **argv)
                 "DramSystem channel-threading width (default 1); with "
                 "--differential, a comma list crosses every count "
                 "against both engines")
+        .optionUInt("--checkpoint-cycle", "N",
+                    "serialize/destroy/restore the DRAM system and "
+                    "checker at memory cycle N mid-run; with "
+                    "--differential, crosses checkpointed runs against "
+                    "straight ones and fails on any divergence")
         .flag("--differential",
               "run every matching case through BOTH engines (and every "
               "--channel-threads count) and fail on any divergence")
@@ -74,30 +83,52 @@ main(int argc, char **argv)
               "print case names and per-case seeds, then exit")
         .flag("--quiet",
               "only report failures and the final summary");
+    addConfigOptions(cli);
     cli.parse(argc, argv);
 
-    std::uint64_t base_seed = cli.uns("--seed", 42);
+    // The uniform --config protocol: a configuration file supplies the
+    // defaults the simulation-shaped flags fall back to (the fuzz grid
+    // keeps its own per-case geometry and timing).
+    SimConfig cfg;
+    cfg.seed = 42;
+    cfg.engine = SimEngine::Tick;
+    cfg.workload.clear();
+    loadConfigFile(cli, cfg);
+
+    std::uint64_t base_seed =
+        cli.given("--seed") ? cli.uns("--seed", 42) : cfg.seed;
     auto requests = static_cast<unsigned>(cli.uns("--requests", 2000));
     if (requests == 0)
         fatal("--requests needs a positive integer");
     std::string filter = cli.str("--filter");
-    std::string workload = cli.str("--workload");
+    std::string workload =
+        cli.given("--workload") ? cli.str("--workload") : cfg.workload;
     std::string trace_path = cli.str("--trace-cmds");
     std::string chrome_path = cli.str("--trace-out");
     SimEngine engine = cli.given("--engine")
                            ? parseEngine(cli.str("--engine"))
-                           : SimEngine::Tick;
+                           : cfg.engine;
     bool differential = cli.given("--differential");
     bool list_only = cli.given("--list");
     bool quiet = cli.given("--quiet");
-    double trace_requests = cli.dbl("--trace-requests", 0.0);
+    double trace_requests = cli.given("--trace-requests")
+                                ? cli.dbl("--trace-requests", 0.0)
+                                : cfg.obs.traceRequests;
+
+    cfg.seed = base_seed;
+    cfg.engine = engine;
+    cfg.workload = workload;
+    cfg.obs.traceRequests = trace_requests;
+    if (dumpConfigIfRequested(cli, cfg))
+        return 0;
     if (trace_requests < 0.0 || trace_requests > 1.0)
         fatal("--trace-requests needs a rate in [0, 1], got {}",
               trace_requests);
 
     // --channel-threads: a single count for plain runs; a comma list
     // crosses all of them against both engines under --differential.
-    std::vector<unsigned> thread_counts{1};
+    std::vector<unsigned> thread_counts{
+        cfg.channelThreads > 0 ? cfg.channelThreads : 1};
     if (cli.given("--channel-threads")) {
         thread_counts.clear();
         std::string spec = cli.str("--channel-threads");
@@ -145,6 +176,7 @@ main(int argc, char **argv)
         c.workload = workload;
         c.channelThreads = thread_counts.front();
         c.traceRequests = trace_requests;
+        c.checkpointAtCycle = cli.uns("--checkpoint-cycle", 0);
         std::string replay_wl =
             workload.empty() ? "" : " --workload '" + workload + "'";
         if (differential) {

@@ -34,7 +34,9 @@
 #include "common/cli.hh"
 #include "common/json.hh"
 #include "common/log.hh"
+#include "common/schema_check.hh"
 #include "mem/request_trace.hh"
+#include "sim/config_cli.hh"
 
 using namespace dasdram;
 
@@ -107,18 +109,10 @@ loadSpanFile(const std::string &path)
             fatal("{}:{}: malformed JSON: {}", path, lineno, err);
         std::string type = strField(v, "type");
         if (type == "meta") {
-            if (strField(v, "schema") != kSpanJsonlSchema) {
-                fatal("{}: not a {} file (schema '{}')", path,
-                      kSpanJsonlSchema, strField(v, "schema"));
-            }
-            file.version =
-                static_cast<int>(numField(v, "version", -1.0));
-            if (file.version != kSpanJsonlVersion) {
-                fatal("{}: span-JSONL version {} does not match this "
-                      "tool's version {}; regenerate the dump or "
-                      "rebuild dasdram_latency",
-                      path, file.version, kSpanJsonlVersion);
-            }
+            file.version = checkJsonlSchema(
+                path, kSpanJsonlSchema, strField(v, "schema"),
+                static_cast<int>(numField(v, "version", -1.0)),
+                kSpanJsonlVersion, "dasdram_latency");
             file.workload = strField(v, "workload");
             file.design = strField(v, "design");
             file.label = strField(v, "label");
@@ -329,9 +323,20 @@ main(int argc, char **argv)
                      "how many slowest requests to detail (default 5)")
         .option("--baseline", "FILE",
                 "span-JSONL to diff the breakdown against")
-        .positionals("spans-jsonl", "span-JSONL dump to analyse", 1,
+        .positionals("spans-jsonl", "span-JSONL dump to analyse", 0,
                      1);
+    addConfigOptions(cli);
     cli.parse(argc, argv);
+
+    // The uniform --config protocol (analysis tools load and validate
+    // the configuration — unknown keys fatal — and round-trip it via
+    // --dump-config; this tool needs nothing further from it).
+    SimConfig cfg;
+    loadConfigFile(cli, cfg);
+    if (dumpConfigIfRequested(cli, cfg))
+        return 0;
+    if (cli.positionalValues().empty())
+        fatal("missing spans-jsonl argument (see --help)");
 
     SpanFile file = loadSpanFile(cli.positionalValues().front());
     std::printf("%s: schema v%d, workload=%s design=%s label=%s "

@@ -41,7 +41,9 @@
 #include "common/cli.hh"
 #include "common/json.hh"
 #include "common/log.hh"
+#include "common/schema_check.hh"
 #include "common/stats_jsonl.hh"
+#include "sim/config_cli.hh"
 
 using namespace dasdram;
 
@@ -94,23 +96,10 @@ loadStatsFile(const std::string &path)
             fatal("{}:{}: malformed JSON: {}", path, lineno, err);
         std::string type = strField(v, "type");
         if (type == "meta") {
-            if (strField(v, "schema") != kStatsJsonlSchema) {
-                fatal("{}: not a {} file (schema '{}')", path,
-                      kStatsJsonlSchema, strField(v, "schema"));
-            }
-            file.version =
-                static_cast<int>(numField(v, "version", -1.0));
-            if (file.version < 0) {
-                fatal("{}: meta record has no schema version — "
-                      "is this a stats-JSONL dump?",
-                      path);
-            }
-            if (file.version > kStatsJsonlVersion) {
-                fatal("{}: stats-JSONL version {} is newer than this "
-                      "tool understands (version {}); rebuild "
-                      "dasdram_report",
-                      path, file.version, kStatsJsonlVersion);
-            }
+            file.version = checkJsonlSchema(
+                path, kStatsJsonlSchema, strField(v, "schema"),
+                static_cast<int>(numField(v, "version", -1.0)),
+                kStatsJsonlVersion, "dasdram_report");
             file.meta = std::move(v);
         } else if (type == "epoch") {
             // Epochs are a per-run time-series, not a comparison
@@ -230,7 +219,16 @@ main(int argc, char **argv)
         .flag("--list",
               "print every record of every file instead of the table")
         .positionals("stats-jsonl", "stats-JSONL dumps to tabulate", 0);
+    addConfigOptions(cli);
     cli.parse(argc, argv);
+
+    // The uniform --config protocol (analysis tools load and validate
+    // the configuration — unknown keys fatal — and round-trip it via
+    // --dump-config; this tool needs nothing further from it).
+    SimConfig cfg;
+    loadConfigFile(cli, cfg);
+    if (dumpConfigIfRequested(cli, cfg))
+        return 0;
 
     const std::vector<std::string> &paths = cli.positionalValues();
     const std::vector<std::string> &metrics = cli.strs("--metric");

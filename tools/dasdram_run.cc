@@ -43,9 +43,23 @@
  * of a point is SweepRunner::pointSeed(--seed, workload, design) —
  * deterministic, and identical to the same point inside any figure
  * sweep with the same base seed.
+ *
+ * Snapshots (--checkpoint-out/--restore): --checkpoint-out CYCLE:PATH
+ * saves a versioned binary snapshot at the first run-loop visit at or
+ * after tick CYCLE ("warmup:PATH" saves right after the warm-up
+ * reset); --restore PATH resumes from such a snapshot, and the resumed
+ * run is bit-identical to the uninterrupted one (same stats JSONL,
+ * same command-trace and span-JSONL suffix) under either engine and
+ * any --channel-threads value. Both flags run the point directly —
+ * no summary, and --baseline/--csv/--json do not apply. --warm-dir
+ * DIR instead enables warm-start sharing inside the sweep engine:
+ * each point forks from (or publishes) the warmed snapshot of its
+ * config fingerprint under DIR, so re-running against the same
+ * directory skips all warm-up re-simulation bit-identically.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -55,6 +69,7 @@
 #include "common/cli.hh"
 #include "common/config.hh"
 #include "common/log.hh"
+#include "sim/config_cli.hh"
 #include "sim/experiment.hh"
 #include "sim/sweep.hh"
 #include "workload/trace_file.hh"
@@ -183,26 +198,26 @@ main(int argc, char **argv)
               "also run standard DRAM and report the improvement")
         .flag("--stats", "dump the full stats tree (direct rerun)")
         .flag("--csv", "one CSV row to stdout")
-        .option("--config", "FILE",
-                "load a JSON configuration (flags still override)")
-        .flag("--dump-config",
-              "print the effective configuration as JSON and exit")
+        .option("--checkpoint-out", "CYCLE:PATH",
+                "save a snapshot at tick CYCLE (or 'warmup:PATH' for "
+                "right after the warm-up reset); repeatable; runs the "
+                "point directly")
+        .option("--restore", "PATH",
+                "resume from a snapshot saved by --checkpoint-out; "
+                "runs the point directly")
+        .option("--warm-dir", "DIR",
+                "warm-start checkpoint directory shared by sweep "
+                "points (see the header of tools/dasdram_run.cc)")
         .option("--set", "key=value",
                 "config override, repeatable: das.threshold, "
                 "das.tcBytes, das.replacement, das.exclusive, "
                 "layout.groupSize, layout.fastRatioDenom, sim.warmup");
+    addConfigOptions(cli);
     cli.parse(argc, argv);
 
     SimConfig cfg;
     cfg.instructionsPerCore = 4'000'000;
-    if (cli.given("--config")) {
-        std::ifstream is(cli.str("--config"));
-        if (!is)
-            fatal("cannot open '{}'", cli.str("--config"));
-        std::ostringstream ss;
-        ss << is.rdbuf();
-        cfg = configFromJson(ss.str(), cfg);
-    }
+    loadConfigFile(cli, cfg);
     if (cli.given("--workload"))
         cfg.workload = cli.str("--workload");
     if (cli.given("--design"))
@@ -235,43 +250,56 @@ main(int argc, char **argv)
     }
     applyOverrides(cfg, overrides);
 
-    if (cli.given("--dump-config")) {
-        std::printf("%s\n", configToJson(cfg).c_str());
+    if (dumpConfigIfRequested(cli, cfg))
         return 0;
-    }
 
     WorkloadSpec w = WorkloadSpec::parse(cfg.workload);
     DesignKind kind = cfg.design;
     bool with_baseline = cli.given("--baseline");
     bool csv = cli.given("--csv");
 
-    // Every run goes through the sweep engine; with --baseline the
-    // standard point and the design point are two grid points, so
-    // --jobs 2 runs them concurrently.
-    SweepRunner sweep(cfg, jobs);
-    std::size_t result_index = 0;
-    if (with_baseline || csv) {
-        sweep.add(w, DesignKind::Standard);
-        result_index = sweep.add(w, kind);
-    } else {
-        // Raw metrics only: skip the baseline simulation entirely.
-        result_index = sweep.add(
-            SweepPoint{w, kind, {}, {}, /*needBaseline=*/false});
-    }
-    std::vector<ExperimentResult> results = sweep.run();
-    const ExperimentResult &r = results[result_index];
+    // The snapshot flags run the point directly: a restore exists to
+    // skip re-simulation, so the summary pass through the sweep engine
+    // (and everything computed from it) does not apply.
+    std::vector<std::string> checkpoint_specs =
+        cli.strs("--checkpoint-out");
+    std::string restore_path = cli.str("--restore");
+    bool direct_only = !checkpoint_specs.empty() || !restore_path.empty();
+    if (direct_only && (with_baseline || csv || cli.given("--json")))
+        fatal("--checkpoint-out/--restore run the point directly; "
+              "--baseline, --csv and --json do not apply");
 
-    if (cli.given("--json")) {
-        std::ofstream os(cli.str("--json"));
-        if (!os)
-            fatal("cannot open '{}' for writing", cli.str("--json"));
-        writeJsonLines(os, results);
-    }
+    if (!direct_only) {
+        // Every run goes through the sweep engine; with --baseline the
+        // standard point and the design point are two grid points, so
+        // --jobs 2 runs them concurrently.
+        SweepRunner sweep(cfg, jobs);
+        if (cli.given("--warm-dir"))
+            sweep.setWarmStartDir(cli.str("--warm-dir"));
+        std::size_t result_index = 0;
+        if (with_baseline || csv) {
+            sweep.add(w, DesignKind::Standard);
+            result_index = sweep.add(w, kind);
+        } else {
+            // Raw metrics only: skip the baseline simulation entirely.
+            result_index = sweep.add(
+                SweepPoint{w, kind, {}, {}, /*needBaseline=*/false});
+        }
+        std::vector<ExperimentResult> results = sweep.run();
+        const ExperimentResult &r = results[result_index];
 
-    if (csv) {
-        printCsv(w, r, cfg.geom);
-    } else {
-        printSummary(w, r, with_baseline || csv, cfg.geom);
+        if (cli.given("--json")) {
+            std::ofstream os(cli.str("--json"));
+            if (!os)
+                fatal("cannot open '{}' for writing", cli.str("--json"));
+            writeJsonLines(os, results);
+        }
+
+        if (csv) {
+            printCsv(w, r, cfg.geom);
+        } else {
+            printSummary(w, r, with_baseline || csv, cfg.geom);
+        }
     }
 
     std::string trace_path = cli.str("--trace-cmds");
@@ -285,9 +313,13 @@ main(int argc, char **argv)
     if (trace_requests < 0.0 || trace_requests > 1.0)
         fatal("--trace-requests must be in [0, 1], got {}",
               trace_requests);
+    if (direct_only && !record_prefix.empty())
+        fatal("--record cannot be combined with --checkpoint-out/"
+              "--restore (recorder file positions are not part of a "
+              "snapshot)");
     if (cli.given("--stats") || !trace_path.empty() ||
         !trace_out.empty() || !stats_out.empty() ||
-        !record_prefix.empty() || trace_requests > 0.0) {
+        !record_prefix.empty() || trace_requests > 0.0 || direct_only) {
         // Re-run with direct System access for the stats tree, the
         // command trace, the observability exports and/or the trace
         // recording, using the same effective seed as the sweep point
@@ -322,6 +354,27 @@ main(int argc, char **argv)
             if (!trace_os)
                 fatal("cannot open '{}' for writing", trace_path);
             sys.attachCommandTrace(trace_os);
+        }
+        if (!restore_path.empty())
+            sys.loadSnapshot(restore_path);
+        for (const std::string &spec : checkpoint_specs) {
+            std::size_t colon = spec.find(':');
+            if (colon == std::string::npos || colon + 1 == spec.size())
+                fatal("--checkpoint-out needs CYCLE:PATH or "
+                      "warmup:PATH, got '{}'",
+                      spec);
+            std::string when = spec.substr(0, colon);
+            std::string path = spec.substr(colon + 1);
+            if (when == "warmup") {
+                sys.checkpointAtWarmup(path);
+            } else {
+                char *end = nullptr;
+                unsigned long long tick =
+                    std::strtoull(when.c_str(), &end, 10);
+                if (end == when.c_str() || *end != '\0')
+                    fatal("bad --checkpoint-out cycle '{}'", when);
+                sys.scheduleCheckpoint(tick, path);
+            }
         }
         sys.run();
         for (auto &rec : recorders) {
